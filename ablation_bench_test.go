@@ -1,0 +1,199 @@
+package spooftrack
+
+// Ablation benchmarks: quantify the design choices DESIGN.md calls out
+// by re-running reduced campaigns with one knob flipped. Each bench
+// reports the resulting mean cluster size (and study-specific metrics)
+// so the effect of the knob is visible next to its cost.
+//
+//	BenchmarkAblationTruthVsMeasured   measurement pipeline on/off
+//	BenchmarkAblationPolicyNoise       Gao-Rexford deviations on/off
+//	BenchmarkAblationTier1Filter       poisoning route-leak filter on/off
+//	BenchmarkAblationPrependDepth      prepend x1 vs the paper's x4
+//	BenchmarkAblationWireFeeds         MRT wire codec on the feed path
+//	BenchmarkExtPrediction             catchment prediction accuracy
+//	BenchmarkExtTargetedPoison         targeted poisoning of large clusters
+//	BenchmarkExtLocalizationSpeed      time-to-target with concurrency
+
+import (
+	"testing"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/core"
+	"spooftrack/internal/experiments"
+	"spooftrack/internal/sched"
+	"spooftrack/internal/topo"
+)
+
+// ablationWorldParams is the reduced scale used per bench iteration.
+func ablationWorldParams(seed uint64) core.WorldParams {
+	p := core.DefaultWorldParams(seed)
+	tp := topo.DefaultGenParams(seed)
+	tp.NumASes = 1200
+	p.Topo = &tp
+	p.NumCollectors = 100
+	p.NumProbes = 400
+	p.MaxPoisonTargets = 40
+	return p
+}
+
+// runAblation builds a world with the given params, runs the default
+// plan, and returns the final mean cluster size.
+func runAblation(b *testing.B, p core.WorldParams, opts core.CampaignOptions, mutatePlan func([]sched.PlannedConfig) []sched.PlannedConfig) float64 {
+	b.Helper()
+	w, err := core.BuildWorld(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := w.DefaultPlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if mutatePlan != nil {
+		plan = mutatePlan(plan)
+	}
+	camp, err := w.RunCampaign(plan, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return camp.FinalPartition().Summarize().MeanSize
+}
+
+func BenchmarkAblationTruthVsMeasured(b *testing.B) {
+	var truth, measured float64
+	for i := 0; i < b.N; i++ {
+		p := ablationWorldParams(100)
+		truth = runAblation(b, p, core.CampaignOptions{UseTruth: true}, nil)
+		measured = runAblation(b, p, core.CampaignOptions{}, nil)
+	}
+	b.ReportMetric(truth, "mean-truth")
+	b.ReportMetric(measured, "mean-measured")
+}
+
+func BenchmarkAblationPolicyNoise(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		p := ablationWorldParams(101)
+		with = runAblation(b, p, core.CampaignOptions{UseTruth: true}, nil)
+		clean := bgp.DefaultParams(101)
+		clean.PolicyNoiseFrac = 0
+		clean.LengthBlindFrac = 0
+		p.Engine = &clean
+		without = runAblation(b, p, core.CampaignOptions{UseTruth: true}, nil)
+	}
+	b.ReportMetric(with, "mean-noisy")
+	b.ReportMetric(without, "mean-textbook")
+}
+
+func BenchmarkAblationTier1Filter(b *testing.B) {
+	var filtered, unfiltered float64
+	for i := 0; i < b.N; i++ {
+		p := ablationWorldParams(102)
+		filtered = runAblation(b, p, core.CampaignOptions{UseTruth: true}, nil)
+		open := bgp.DefaultParams(102)
+		open.Tier1PoisonFilter = false
+		open.IgnorePoisonFrac = 0
+		p.Engine = &open
+		unfiltered = runAblation(b, p, core.CampaignOptions{UseTruth: true}, nil)
+	}
+	b.ReportMetric(filtered, "mean-filtered")
+	b.ReportMetric(unfiltered, "mean-poison-fully-effective")
+}
+
+func BenchmarkAblationPrependDepth(b *testing.B) {
+	shallow := func(plan []sched.PlannedConfig) []sched.PlannedConfig {
+		out := make([]sched.PlannedConfig, len(plan))
+		for i, pc := range plan {
+			anns := make([]bgp.Announcement, len(pc.Config.Anns))
+			copy(anns, pc.Config.Anns)
+			for k := range anns {
+				if anns[k].Prepend > 0 {
+					anns[k].Prepend = 1
+				}
+			}
+			out[i] = sched.PlannedConfig{Config: bgp.Config{Anns: anns}, Phase: pc.Phase}
+		}
+		return out
+	}
+	var deep, x1 float64
+	for i := 0; i < b.N; i++ {
+		p := ablationWorldParams(103)
+		deep = runAblation(b, p, core.CampaignOptions{UseTruth: true}, nil)
+		x1 = runAblation(b, p, core.CampaignOptions{UseTruth: true}, shallow)
+	}
+	b.ReportMetric(deep, "mean-prepend-x4")
+	b.ReportMetric(x1, "mean-prepend-x1")
+}
+
+func BenchmarkAblationWireFeeds(b *testing.B) {
+	var direct, wire float64
+	for i := 0; i < b.N; i++ {
+		p := ablationWorldParams(104)
+		direct = runAblation(b, p, core.CampaignOptions{}, nil)
+		p.WireFeeds = true
+		wire = runAblation(b, p, core.CampaignOptions{}, nil)
+	}
+	b.ReportMetric(direct, "mean-direct")
+	b.ReportMetric(wire, "mean-mrt-roundtrip")
+}
+
+func BenchmarkExtPrediction(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.ExtPredictionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ExtPrediction(lab)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Mean*100, "prediction-agreement-%")
+}
+
+func BenchmarkExtTargetedPoison(b *testing.B) {
+	// The targeted phase mutates platform state, so it gets its own lab
+	// per iteration rather than the shared one.
+	var res *experiments.ExtTargetedPoisonResult
+	for i := 0; i < b.N; i++ {
+		lab, err := experiments.NewLab(experiments.LabParams{
+			Seed: 105, NumASes: 1200, NumProbes: 400, NumCollectors: 100, MaxPoisonTargets: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = experiments.ExtTargetedPoison(lab, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.BeforeMean, "mean-before")
+	b.ReportMetric(res.AfterMean, "mean-after")
+	b.ReportMetric(float64(res.ExtraConfigs), "extra-configs")
+}
+
+func BenchmarkExtRemediation(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.ExtRemediationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ExtRemediation(lab, 0.5, 100, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Steps)), "rounds-to-clean")
+	b.ReportMetric(float64(res.TotalNotified), "networks-notified")
+}
+
+func BenchmarkExtLocalizationSpeed(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.ExtSpeedResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.ExtSpeed(lab, 5.0, 42)
+	}
+	b.ReportMetric(float64(res.ConfigsGreedy), "greedy-configs-to-5ASes")
+	b.ReportMetric(res.Times[1].Hours(), "hours-1-prefix")
+	b.ReportMetric(res.Times[4].Hours(), "hours-4-prefixes")
+}

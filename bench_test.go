@@ -1,0 +1,192 @@
+package spooftrack
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation. Each benchmark drives the corresponding experiment
+// on the shared paper-scale lab (4000-AS topology, 7 PoPs, a 705-
+// configuration campaign measured through the collector/traceroute
+// pipeline) and reports the figure's headline quantity as a custom
+// metric so runs are directly comparable with the paper's numbers:
+//
+//	BenchmarkTable1Platform       Table I    PoP/provider bindings
+//	BenchmarkHeadlineCampaign     §V         mean cluster size / singletons
+//	BenchmarkFig3ClusterCCDF      Fig. 3     CCDF after each phase
+//	BenchmarkFig4ClusterTrajectory Fig. 4    mean/p90 vs. #configs
+//	BenchmarkFig5Footprint        Fig. 5     mean size vs. footprint
+//	BenchmarkFig6FootprintCCDF    Fig. 6     tail vs. footprint
+//	BenchmarkFig7DistanceBreakdown Fig. 7    size vs. AS-hop distance
+//	BenchmarkFig8Scheduling       Fig. 8     random vs. greedy schedules
+//	BenchmarkFig9PolicyCompliance Fig. 9     Gao-Rexford compliance
+//	BenchmarkFig10SpoofedTraffic  Fig. 10    traffic vs. cluster size
+//	BenchmarkCampaignDeployment   §IV        full campaign wall time
+//
+// Run with: go test -bench=. -benchmem
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+
+import (
+	"testing"
+
+	"spooftrack/internal/experiments"
+	"spooftrack/internal/sched"
+)
+
+func benchLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	lab, err := experiments.DefaultLab()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lab
+}
+
+func BenchmarkTable1Platform(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.Table1(lab).Rows)
+	}
+	b.ReportMetric(float64(rows), "PoPs")
+}
+
+func BenchmarkHeadlineCampaign(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.HeadlineResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Headline(lab)
+	}
+	b.ReportMetric(res.MeanSize, "mean-cluster-ASes")
+	b.ReportMetric(res.SingletonFrac*100, "singleton-%")
+	b.ReportMetric(float64(res.NumConfigs), "configs")
+	b.ReportMetric(float64(res.NumSources), "sources")
+}
+
+func BenchmarkFig3ClusterCCDF(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig3(lab)
+	}
+	b.ReportMetric(res.SingletonFrac[sched.PhasePoisoning]*100, "final-singleton-%")
+	b.ReportMetric(float64(res.LargeClusters), "clusters>5ASes")
+	b.ReportMetric(res.LargeClusterASFrac*100, "ASes-in-large-%")
+}
+
+func BenchmarkFig4ClusterTrajectory(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig4(lab)
+	}
+	b.ReportMetric(res.Mean[len(res.Mean)-1], "final-mean-ASes")
+	b.ReportMetric(res.Mean[res.PhaseEnds[sched.PhaseLocations]-1], "mean-after-locations")
+	b.ReportMetric(res.Mean[res.PhaseEnds[sched.PhasePrepending]-1], "mean-after-prepending")
+}
+
+func BenchmarkFig5Footprint(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig5(lab)
+	}
+	for _, s := range res.Scenarios {
+		final := s.MeanTrajectory[len(s.MeanTrajectory)-1]
+		switch s.Locations {
+		case 7:
+			b.ReportMetric(final, "mean-7loc")
+		case 6:
+			b.ReportMetric(final, "mean-6loc")
+		case 5:
+			b.ReportMetric(final, "mean-5loc")
+		}
+	}
+}
+
+func BenchmarkFig6FootprintCCDF(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig6(lab)
+	}
+	for _, s := range res.Scenarios {
+		switch s.Locations {
+		case 7:
+			b.ReportMetric(s.FracOver25*100, ">25ASes-7loc-%")
+		case 6:
+			b.ReportMetric(s.FracOver25*100, ">25ASes-6loc-%")
+		case 5:
+			b.ReportMetric(s.FracOver25*100, ">25ASes-5loc-%")
+		}
+	}
+}
+
+func BenchmarkFig7DistanceBreakdown(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig7(lab)
+	}
+	b.ReportMetric(res.MeanNear, "mean-1-2hops-ASes")
+	b.ReportMetric(res.MeanFar, "mean-3+hops-ASes")
+}
+
+func BenchmarkFig8Scheduling(b *testing.B) {
+	lab := benchLab(b)
+	params := experiments.DefaultFig8Params()
+	b.ResetTimer()
+	var res *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig8(lab, params)
+	}
+	b.ReportMetric(res.RandomAt10, "random-at-10")
+	b.ReportMetric(res.GreedyAt10, "greedy-at-10")
+}
+
+func BenchmarkFig9PolicyCompliance(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	var res *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig9(lab)
+	}
+	b.ReportMetric(res.MeanBestRel*100, "best-rel-%")
+	b.ReportMetric(res.MeanGaoRexford*100, "gao-rexford-%")
+}
+
+func BenchmarkFig10SpoofedTraffic(b *testing.B) {
+	lab := benchLab(b)
+	params := experiments.DefaultFig10Params()
+	b.ResetTimer()
+	var res *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig10(lab, params)
+	}
+	b.ReportMetric(res.Single[0].CumFrac*100, "single-traffic-size1-%")
+	b.ReportMetric(res.Pareto[4].CumFrac*100, "pareto-traffic-size5-%")
+	b.ReportMetric(res.Uniform[4].CumFrac*100, "uniform-traffic-size5-%")
+}
+
+// BenchmarkCampaignDeployment measures the full §IV pipeline — world
+// build, 705-configuration deployment, measurement, inference, and
+// imputation — on a reduced topology per iteration (the paper-scale run
+// is covered once by the shared lab).
+func BenchmarkCampaignDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab, err := experiments.NewLab(experiments.LabParams{
+			Seed:             uint64(i + 1),
+			NumASes:          1200,
+			NumProbes:        400,
+			NumCollectors:    100,
+			MaxPoisonTargets: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = lab.Campaign.FinalPartition()
+	}
+}

@@ -1,0 +1,111 @@
+// Command topogen generates a synthetic AS-level Internet topology and
+// writes it in CAIDA AS-relationship format, or summarizes an existing
+// topology file.
+//
+// Usage:
+//
+//	topogen -ases 4000 -seed 1 -out topology.txt
+//	topogen -in topology.txt            # print summary statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"spooftrack/internal/topo"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		numASes  = flag.Int("ases", 4000, "number of ASes")
+		tier1    = flag.Int("tier1", 12, "number of tier-1 ASes")
+		outPath  = flag.String("out", "", "output path (default stdout)")
+		inPath   = flag.String("in", "", "summarize an existing CAIDA file instead of generating")
+		validate = flag.Bool("validate", true, "validate structural invariants")
+	)
+	flag.Parse()
+
+	var g *topo.Graph
+	var err error
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		g, err = topo.ReadCAIDA(f)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(g)
+		return
+	}
+
+	p := topo.DefaultGenParams(*seed)
+	p.NumASes = *numASes
+	p.NumTier1 = *tier1
+	g, err = topo.Generate(p)
+	if err != nil {
+		fatal(err)
+	}
+	if *validate {
+		if err := g.Validate(); err != nil {
+			fatal(fmt.Errorf("generated topology invalid: %w", err))
+		}
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := topo.WriteCAIDA(out, g); err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d ASes, %d links to %s\n", g.NumASes(), g.NumLinks(), *outPath)
+		summarize(g)
+	}
+}
+
+func summarize(g *topo.Graph) {
+	transit := g.TransitASes()
+	var coneSizes []int
+	for _, i := range transit {
+		coneSizes = append(coneSizes, g.CustomerConeSize(i))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(coneSizes)))
+	peerLinks, c2pLinks := 0, 0
+	for i := 0; i < g.NumASes(); i++ {
+		for _, n := range g.Neighbors(i) {
+			if n.Idx < i {
+				continue
+			}
+			if n.Rel == topo.RelPeer {
+				peerLinks++
+			} else {
+				c2pLinks++
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ASes: %d  links: %d (%d transit, %d peering)\n",
+		g.NumASes(), g.NumLinks(), c2pLinks, peerLinks)
+	fmt.Fprintf(os.Stderr, "tier-1: %d  transit ASes: %d  stubs: %d\n",
+		len(g.Tier1s()), len(transit), g.NumASes()-len(transit))
+	top := coneSizes
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	fmt.Fprintf(os.Stderr, "largest customer cones: %v\n", top)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+	os.Exit(1)
+}

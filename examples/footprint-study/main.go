@@ -1,0 +1,35 @@
+// Footprint study: how does localization precision depend on the number
+// of peering locations? Reproduces the Fig. 5 / Fig. 6 analysis at a
+// reduced scale: networks with 7, 6, and 5 PoPs are emulated by
+// restricting the campaign to configurations that use only the retained
+// links.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spooftrack/internal/experiments"
+)
+
+func main() {
+	fmt.Println("deploying campaign for the footprint study...")
+	lab, err := experiments.NewLab(experiments.LabParams{
+		Seed:             5,
+		NumASes:          1500,
+		NumProbes:        500,
+		NumCollectors:    120,
+		MaxPoisonTargets: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := experiments.Fig5(lab)
+	fmt.Println(res)
+	fmt.Println(res.Fig6String())
+
+	fmt.Println("takeaway: every location removed shrinks the usable configuration")
+	fmt.Println("space and fattens the cluster-size tail — networks with larger")
+	fmt.Println("peering footprints localize spoofed traffic more precisely.")
+}

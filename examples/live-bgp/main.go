@@ -1,0 +1,108 @@
+// Live BGP: drive the announcement side over real BGP sessions. The
+// origin (AS47065) dials a TCP BGP session to a route-server collector
+// and announces each configuration's paths as genuine UPDATE messages —
+// prepending and poison sentinels included — then withdraws them before
+// the next configuration, exactly the control-plane churn a PEERING
+// experiment produces at its muxes. The collector's RIB is read back
+// after each configuration to verify what the world would see.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"spooftrack"
+	"spooftrack/internal/bgpwire"
+	"spooftrack/internal/measure"
+)
+
+func main() {
+	// A small world provides the configurations to announce.
+	world, err := spooftrack.BuildWorld(func() spooftrack.WorldParams {
+		p := spooftrack.DefaultWorldParams(55)
+		tp := spooftrack.DefaultGenParams(55)
+		tp.NumASes = 600
+		p.Topo = &tp
+		return p
+	}())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := world.DefaultPlan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan = plan[:4]
+
+	// The collector side: a route server on loopback.
+	rs, err := bgpwire.NewRouteServer("127.0.0.1:0", bgpwire.SessionConfig{
+		LocalAS: 65000, BGPID: 0x7f000001, HoldTime: 9 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rs.Close()
+	fmt.Printf("collector route server on %v\n", rs.Addr())
+
+	// The origin side: one session, like a PEERING mux's BGP speaker.
+	sess, err := bgpwire.Dial(rs.Addr().String(), bgpwire.SessionConfig{
+		LocalAS: spooftrack.PEERINGASN, BGPID: 47065, HoldTime: 9 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	fmt.Printf("origin session established: state=%v peer=AS%d hold=%v\n\n",
+		sess.State(), sess.PeerAS(), sess.HoldTime())
+
+	prefix := measure.AnnouncedPrefix
+	nextHop := netip.MustParseAddr("203.0.113.1")
+	for i, pc := range plan {
+		fmt.Printf("configuration %d (%s): %v\n", i+1, pc.Phase, pc.Config)
+		for _, a := range pc.Config.Anns {
+			u := &bgpwire.Update{
+				Path:     a.InitialPath(spooftrack.PEERINGASN),
+				NextHop:  nextHop,
+				Prefixes: []netip.Prefix{prefix},
+			}
+			if err := sess.Announce(u); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Wait for the collector RIB to converge on this config.
+		waitRIB(rs)
+		path := rs.Routes(spooftrack.PEERINGASN)[prefix]
+		fmt.Printf("  collector sees AS-path %v\n", path)
+
+		// Withdraw before the next configuration.
+		if err := sess.Announce(&bgpwire.Update{Withdrawn: []netip.Prefix{prefix}}); err != nil {
+			log.Fatal(err)
+		}
+		waitWithdrawn(rs)
+	}
+	fmt.Println("\nall configurations announced and withdrawn over live BGP")
+}
+
+func waitRIB(rs *bgpwire.RouteServer) {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(rs.Routes(spooftrack.PEERINGASN)) > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatal("collector never saw the announcement")
+}
+
+func waitWithdrawn(rs *bgpwire.RouteServer) {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(rs.Routes(spooftrack.PEERINGASN)) == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatal("withdrawal never reached the collector")
+}

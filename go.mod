@@ -1,0 +1,3 @@
+module spooftrack
+
+go 1.22

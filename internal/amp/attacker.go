@@ -1,0 +1,66 @@
+package amp
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+)
+
+// Attacker crafts amplification requests with a forged source address
+// and sends them toward the origin's border router, as the compromised
+// hosts in §V-D's placements would.
+type Attacker struct {
+	conn net.PacketConn
+	// TrueAS is the AS the attacker actually sits in; the border
+	// resolves it to an ingress link.
+	TrueAS uint32
+	// Victim is the spoofed source address: amplified responses are
+	// reflected there.
+	Victim netip.Addr
+}
+
+// NewAttacker creates an attack client bound to an ephemeral local port.
+func NewAttacker(trueAS uint32, victim netip.Addr) (*Attacker, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &Attacker{conn: conn, TrueAS: trueAS, Victim: victim}, nil
+}
+
+// Close releases the attacker's socket.
+func (a *Attacker) Close() error { return a.conn.Close() }
+
+// Flood sends n spoofed requests with the given query payload size to
+// the border router. It returns the number of packets actually written.
+func (a *Attacker) Flood(border net.Addr, n, payloadLen int) (int, error) {
+	if payloadLen < 1 || payloadLen > maxPayload {
+		return 0, fmt.Errorf("amp: payload length %d out of range", payloadLen)
+	}
+	return a.FloodPayload(border, n, make([]byte, payloadLen))
+}
+
+// FloodPayload sends n spoofed requests carrying the exact payload —
+// e.g., a DNS ANY query or NTP monlist request built by the protocol
+// helpers.
+func (a *Attacker) FloodPayload(border net.Addr, n int, payload []byte) (int, error) {
+	pkt := &Packet{
+		Type:        TypeRequest,
+		IngressLink: LinkUnset,
+		TrueSrcAS:   a.TrueAS,
+		SpoofedSrc:  a.Victim,
+		Payload:     payload,
+	}
+	data, err := pkt.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	sent := 0
+	for i := 0; i < n; i++ {
+		if _, err := a.conn.WriteTo(data, border); err != nil {
+			return sent, err
+		}
+		sent++
+	}
+	return sent, nil
+}

@@ -1,0 +1,112 @@
+// Package amp is the packet-level amplification substrate: an
+// AmpPot-style honeypot (Krämer et al., RAID 2015) that attracts spoofed
+// amplification requests and accounts their volume per ingress peering
+// link — the origin's §III-C measurement device — plus the spoofing
+// attack clients and the border router that stamps ingress links.
+//
+// Userland cannot forge IP source addresses without raw sockets, so the
+// spoofed source travels in an overlay header on top of UDP: attackers
+// send Request packets carrying a spoofed victim address and their true
+// source AS; the border router (the origin's edge) resolves the true AS
+// to the peering link its traffic arrives on under the current routing
+// outcome, stamps the link, and forwards to the honeypot. The honeypot
+// counts per-link volume and reflects rate-limited amplified responses
+// toward the victim, as AmpPot does. All packet formats use fixed-size
+// big-endian encoding.
+package amp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Magic identifies overlay packets.
+const Magic uint32 = 0x53504f46 // "SPOF"
+
+// PacketType distinguishes overlay messages.
+type PacketType uint8
+
+const (
+	// TypeRequest is an amplification query (attacker -> border ->
+	// honeypot).
+	TypeRequest PacketType = 1
+	// TypeResponse is an amplified answer (honeypot -> victim).
+	TypeResponse PacketType = 2
+)
+
+// maxPayload bounds the variable part of a packet.
+const maxPayload = 1400
+
+// headerLen is the fixed overlay header size: magic(4) type(1) link(1)
+// srcAS(4) spoofedSrc(4) payloadLen(2).
+const headerLen = 16
+
+// Packet is one overlay message.
+type Packet struct {
+	Type PacketType
+	// IngressLink is the peering link stamp; 0xff before the border
+	// router assigns it.
+	IngressLink uint8
+	// TrueSrcAS is the attacker's actual AS number (what a border
+	// router implicitly knows from the wire the packet arrived on).
+	TrueSrcAS uint32
+	// SpoofedSrc is the forged source address — the victim of the
+	// reflection.
+	SpoofedSrc netip.Addr
+	// Payload is the query or amplified answer.
+	Payload []byte
+}
+
+// LinkUnset marks packets not yet stamped by the border router.
+const LinkUnset uint8 = 0xff
+
+// Marshal encodes the packet.
+func (p *Packet) Marshal() ([]byte, error) {
+	if len(p.Payload) > maxPayload {
+		return nil, fmt.Errorf("amp: payload %d exceeds %d bytes", len(p.Payload), maxPayload)
+	}
+	if !p.SpoofedSrc.Is4() {
+		return nil, fmt.Errorf("amp: spoofed source %v is not IPv4", p.SpoofedSrc)
+	}
+	buf := make([]byte, headerLen+len(p.Payload))
+	binary.BigEndian.PutUint32(buf[0:], Magic)
+	buf[4] = byte(p.Type)
+	buf[5] = p.IngressLink
+	binary.BigEndian.PutUint32(buf[6:], p.TrueSrcAS)
+	src := p.SpoofedSrc.As4()
+	copy(buf[10:14], src[:])
+	binary.BigEndian.PutUint16(buf[14:], uint16(len(p.Payload)))
+	copy(buf[headerLen:], p.Payload)
+	return buf, nil
+}
+
+// Unmarshal decodes a packet, validating magic, type, and length fields.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("amp: packet too short (%d bytes)", len(buf))
+	}
+	if got := binary.BigEndian.Uint32(buf[0:]); got != Magic {
+		return nil, fmt.Errorf("amp: bad magic %#x", got)
+	}
+	t := PacketType(buf[4])
+	if t != TypeRequest && t != TypeResponse {
+		return nil, fmt.Errorf("amp: unknown packet type %d", t)
+	}
+	plen := int(binary.BigEndian.Uint16(buf[14:]))
+	if plen > maxPayload {
+		return nil, fmt.Errorf("amp: declared payload %d exceeds %d", plen, maxPayload)
+	}
+	if len(buf) != headerLen+plen {
+		return nil, fmt.Errorf("amp: length mismatch: %d bytes for payload %d", len(buf), plen)
+	}
+	var src [4]byte
+	copy(src[:], buf[10:14])
+	return &Packet{
+		Type:        t,
+		IngressLink: buf[5],
+		TrueSrcAS:   binary.BigEndian.Uint32(buf[6:]),
+		SpoofedSrc:  netip.AddrFrom4(src),
+		Payload:     append([]byte(nil), buf[headerLen:]...),
+	}, nil
+}

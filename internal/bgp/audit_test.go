@@ -1,0 +1,53 @@
+package bgp
+
+import "testing"
+
+func TestAuditNoiselessFullCompliance(t *testing.T) {
+	g, o := worldForTest(t, 60, 1000)
+	e := newEngine(t, g, o, noiseless())
+	out := propagate(t, e, allLinksConfig(7))
+	audit := e.Audit(out)
+	if audit.FracBestRel() != 1.0 {
+		t.Fatalf("best-relationship compliance %.4f, want 1.0 without noise", audit.FracBestRel())
+	}
+	if audit.FracGaoRexford() != 1.0 {
+		t.Fatalf("Gao-Rexford compliance %.4f, want 1.0 without noise", audit.FracGaoRexford())
+	}
+	evaluated := 0
+	for _, ev := range audit.Evaluated {
+		if ev {
+			evaluated++
+		}
+	}
+	// Single-homed stubs have no decision to audit; multihomed ASes and
+	// transit networks (roughly 40% of the default topology) do.
+	if evaluated < g.NumASes()/3 {
+		t.Fatalf("only %d ASes evaluated", evaluated)
+	}
+}
+
+func TestAuditDetectsPolicyNoise(t *testing.T) {
+	g, o := worldForTest(t, 61, 1000)
+	p := DefaultParams(61)
+	p.PolicyNoiseFrac = 0.3 // heavy noise so deviation is visible
+	e := newEngine(t, g, o, p)
+	out := propagate(t, e, allLinksConfig(7))
+	audit := e.Audit(out)
+	if audit.FracBestRel() >= 1.0 {
+		t.Fatal("noisy engine reported full best-relationship compliance")
+	}
+	if audit.FracGaoRexford() > audit.FracBestRel() {
+		t.Fatal("Gao-Rexford compliance cannot exceed best-relationship compliance")
+	}
+	// Still, the majority complies (noise is bounded).
+	if audit.FracBestRel() < 0.5 {
+		t.Fatalf("compliance %.3f implausibly low", audit.FracBestRel())
+	}
+}
+
+func TestAuditFracEmpty(t *testing.T) {
+	a := &PolicyAudit{Evaluated: []bool{false}, BestRel: []bool{false}, GaoRexford: []bool{false}}
+	if a.FracBestRel() != 0 || a.FracGaoRexford() != 0 {
+		t.Fatal("empty audit should report zero fractions")
+	}
+}

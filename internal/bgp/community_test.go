@@ -1,0 +1,140 @@
+package bgp
+
+import (
+	"testing"
+
+	"spooftrack/internal/topo"
+)
+
+// commParams returns noiseless params with universal community support.
+func commParams() Params {
+	p := noiseless()
+	p.CommunitySupportFrac = 1.0
+	return p
+}
+
+func TestNoExportCommunityBlocksEdge(t *testing.T) {
+	g, o := diamond(t)
+	e := newEngine(t, g, o, commParams())
+	// Announce only on link 0 (provider a, AS3), instructing t1 (AS1)
+	// not to export toward t2 (AS2): t2 and b lose the route; a, t1 and
+	// src keep it.
+	cfg := Config{Anns: []Announcement{{
+		Link:        0,
+		Communities: []Community{{Operator: 1, Action: ActNoExportTo, Target: 2}},
+	}}}
+	out := propagate(t, e, cfg)
+	for _, asn := range []topo.ASN{2, 4} {
+		if out.HasRoute(g.MustIndex(asn)) {
+			t.Errorf("AS%d should have no route with the no-export community", asn)
+		}
+	}
+	for _, asn := range []topo.ASN{1, 3, 5} {
+		if !out.HasRoute(g.MustIndex(asn)) {
+			t.Errorf("AS%d lost its route", asn)
+		}
+	}
+}
+
+func TestNoExportCommunityMovesCatchment(t *testing.T) {
+	g, o := diamond(t)
+	e := newEngine(t, g, o, commParams())
+	// Both links; suppress t1 -> t2 export of link 0's announcement.
+	// t2 would have preferred... t2 gets link 1's customer route anyway;
+	// instead suppress a -> src so src must use provider b (link 1).
+	cfg := Config{Anns: []Announcement{
+		{Link: 0, Communities: []Community{{Operator: 3, Action: ActNoExportTo, Target: 5}}},
+		{Link: 1},
+	}}
+	out := propagate(t, e, cfg)
+	if l := out.CatchmentOf(g.MustIndex(5)); l != 1 {
+		t.Fatalf("src in catchment %d, want 1 (export suppressed)", l)
+	}
+	// a itself keeps its direct route on link 0.
+	if l := out.CatchmentOf(g.MustIndex(3)); l != 0 {
+		t.Fatalf("a in catchment %d, want 0", l)
+	}
+}
+
+func TestCommunityIgnoredWithoutSupport(t *testing.T) {
+	g, o := diamond(t)
+	p := noiseless()
+	p.CommunitySupportFrac = 0 // nobody honors communities
+	e := newEngine(t, g, o, p)
+	cfg := Config{Anns: []Announcement{{
+		Link:        0,
+		Communities: []Community{{Operator: 1, Action: ActNoExportTo, Target: 2}},
+	}}}
+	out := propagate(t, e, cfg)
+	if !out.HasRoute(g.MustIndex(2)) {
+		t.Fatal("community acted on despite zero support")
+	}
+}
+
+func TestPrependToCommunityFlipsTie(t *testing.T) {
+	g, o := diamond(t)
+	e := newEngine(t, g, o, commParams())
+	// src has equal-length provider routes via a and b. Remote-prepend
+	// a -> src on link 0's announcement: src must prefer b.
+	cfg := Config{Anns: []Announcement{
+		{Link: 0, Communities: []Community{{Operator: 3, Action: ActPrependTo, Target: 5}}},
+		{Link: 1},
+	}}
+	out := propagate(t, e, cfg)
+	if l := out.CatchmentOf(g.MustIndex(5)); l != 1 {
+		t.Fatalf("src in catchment %d, want 1 after remote prepending", l)
+	}
+}
+
+func TestCommunityValidation(t *testing.T) {
+	_, o := diamond(t)
+	bad := Config{Anns: []Announcement{{
+		Link:        0,
+		Communities: []Community{{Operator: 1, Action: CommunityAction(99), Target: 2}},
+	}}}
+	if err := bad.Validate(o); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+	empty := Config{Anns: []Announcement{{
+		Link:        0,
+		Communities: []Community{{Operator: 0, Action: ActNoExportTo, Target: 2}},
+	}}}
+	if err := empty.Validate(o); err == nil {
+		t.Fatal("empty operator accepted")
+	}
+}
+
+func TestCommunityStrings(t *testing.T) {
+	c := Community{Operator: 3356, Action: ActNoExportTo, Target: 1299}
+	if c.String() == "" || ActPrependTo.String() != "prepend-to" {
+		t.Fatal("community rendering broken")
+	}
+	if CommunityAction(9).String() == "" {
+		t.Fatal("unknown action should render")
+	}
+}
+
+func TestCommunityVsPoisonOnFilteredAS(t *testing.T) {
+	// The headline advantage over poisoning: steer an AS that ignores
+	// loop prevention. Poisoning t1 fails (it ignores poison); the
+	// community t1->t2 no-export is orthogonal and still works.
+	g, o := diamond(t)
+	p := commParams()
+	p.IgnorePoisonFrac = 1.0
+	e := newEngine(t, g, o, p)
+
+	poisonCfg := Config{Anns: []Announcement{{Link: 0, Poison: []topo.ASN{1}}}}
+	out := propagate(t, e, poisonCfg)
+	if !out.HasRoute(g.MustIndex(1)) || !out.HasRoute(g.MustIndex(2)) {
+		t.Fatal("setup: poisoning should be a no-op here")
+	}
+
+	commCfg := Config{Anns: []Announcement{{
+		Link:        0,
+		Communities: []Community{{Operator: 1, Action: ActNoExportTo, Target: 2}},
+	}}}
+	out2 := propagate(t, e, commCfg)
+	if out2.HasRoute(g.MustIndex(2)) {
+		t.Fatal("community had no effect where poisoning failed")
+	}
+}

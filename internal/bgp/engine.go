@@ -1,0 +1,477 @@
+package bgp
+
+import (
+	"fmt"
+
+	"spooftrack/internal/stats"
+	"spooftrack/internal/topo"
+)
+
+// Params configures the realism knobs of the routing engine.
+type Params struct {
+	// Seed drives the deterministic tiebreak priorities and the policy
+	// noise assignment.
+	Seed uint64
+	// PolicyNoiseFrac is the fraction of ASes whose LocalPref is pinned
+	// to a random neighbor instead of following Gao-Rexford preferences.
+	// The paper's Fig. 9 observes that a minority of ASes deviate from
+	// the best-relationship criterion.
+	PolicyNoiseFrac float64
+	// IgnorePoisonFrac is the fraction of ASes with BGP loop prevention
+	// disabled (e.g., for multi-site traffic engineering, §III-A-c);
+	// poisoning such an AS has no effect.
+	IgnorePoisonFrac float64
+	// LengthBlindFrac is the fraction of ASes whose later tiebreakers
+	// (IGP cost, MED, route age) dominate AS-path length: they pick
+	// among equally-preferred routes by local priority regardless of
+	// length. These ASes violate the shortest-path criterion audited in
+	// Fig. 9 and resist prepending-based manipulation.
+	LengthBlindFrac float64
+	// CommunitySupportFrac is the fraction of ASes that implement
+	// customer-facing action communities (ActNoExportTo / ActPrependTo).
+	// Communities targeting other ASes are ignored.
+	CommunitySupportFrac float64
+	// Tier1PoisonFilter enables the route-leak heuristic: tier-1 ASes
+	// drop customer-learned routes whose AS-path contains another
+	// tier-1 (§III-A-c).
+	Tier1PoisonFilter bool
+}
+
+// DefaultParams returns the engine parameters used by the default world:
+// modest policy noise consistent with the compliance levels in Fig. 9.
+func DefaultParams(seed uint64) Params {
+	return Params{
+		Seed:                 seed,
+		PolicyNoiseFrac:      0.08,
+		IgnorePoisonFrac:     0.10,
+		LengthBlindFrac:      0.12,
+		CommunitySupportFrac: 0.60,
+		Tier1PoisonFilter:    true,
+	}
+}
+
+// Engine propagates announcement configurations over a topology and
+// computes, for every AS, its chosen route and catchment. An Engine is
+// immutable after construction and safe for concurrent Propagate calls.
+type Engine struct {
+	g      *topo.Graph
+	origin Origin
+	params Params
+
+	// pinned[i] is the dense index of the neighbor the AS prefers above
+	// all relationship classes, or -1 to follow Gao-Rexford.
+	pinned []int
+	// ignorePoison[i] marks ASes with loop prevention disabled.
+	ignorePoison []bool
+	// lengthBlind[i] marks ASes whose tiebreak priority dominates
+	// AS-path length.
+	lengthBlind []bool
+	// honorsComm[i] marks ASes implementing action communities.
+	honorsComm []bool
+	// pri[i][k] is the tiebreak priority AS i assigns to its k-th
+	// neighbor (lower wins); a seeded stand-in for IGP cost / router-id
+	// tiebreaks.
+	pri [][]int32
+	// nbrPos[i] maps neighbor dense index -> position in adj list of i.
+	nbrPos []map[int]int
+	// linkPri[p] is the tiebreak priority each provider assigns to the
+	// origin's direct announcements (always preferred strongly; only
+	// relevant when one provider hosts several links).
+	originASNSet map[topo.ASN]bool
+}
+
+// NewEngine builds an engine for the origin over the graph. It validates
+// that every link's provider index is in range and that the origin ASN
+// does not collide with a topology AS.
+func NewEngine(g *topo.Graph, origin Origin, params Params) (*Engine, error) {
+	if len(origin.Links) == 0 {
+		return nil, fmt.Errorf("bgp: origin has no peering links")
+	}
+	if _, ok := g.Index(origin.ASN); ok {
+		return nil, fmt.Errorf("bgp: origin AS%d collides with a topology AS", origin.ASN)
+	}
+	for i, l := range origin.Links {
+		if l.Provider < 0 || l.Provider >= g.NumASes() {
+			return nil, fmt.Errorf("bgp: link %d provider index %d out of range", i, l.Provider)
+		}
+	}
+	e := &Engine{
+		g:            g,
+		origin:       origin,
+		params:       params,
+		pinned:       make([]int, g.NumASes()),
+		ignorePoison: make([]bool, g.NumASes()),
+		lengthBlind:  make([]bool, g.NumASes()),
+		honorsComm:   make([]bool, g.NumASes()),
+		pri:          make([][]int32, g.NumASes()),
+		nbrPos:       make([]map[int]int, g.NumASes()),
+		originASNSet: map[topo.ASN]bool{origin.ASN: true},
+	}
+	rng := stats.NewRNG(params.Seed ^ 0x5b0ff7acc0ffee)
+	for i := 0; i < g.NumASes(); i++ {
+		ns := g.Neighbors(i)
+		e.pinned[i] = -1
+		if params.PolicyNoiseFrac > 0 && len(ns) > 0 && rng.Bool(params.PolicyNoiseFrac) {
+			e.pinned[i] = ns[rng.Intn(len(ns))].Idx
+		}
+		e.ignorePoison[i] = params.IgnorePoisonFrac > 0 && rng.Bool(params.IgnorePoisonFrac)
+		e.lengthBlind[i] = params.LengthBlindFrac > 0 && rng.Bool(params.LengthBlindFrac)
+		e.honorsComm[i] = params.CommunitySupportFrac > 0 && rng.Bool(params.CommunitySupportFrac)
+		perm := rng.Perm(len(ns))
+		pr := make([]int32, len(ns))
+		pos := make(map[int]int, len(ns))
+		for k, n := range ns {
+			pr[k] = int32(perm[k])
+			pos[n.Idx] = k
+		}
+		e.pri[i] = pr
+		e.nbrPos[i] = pos
+	}
+	return e, nil
+}
+
+// Graph returns the topology the engine routes over.
+func (e *Engine) Graph() *topo.Graph { return e.g }
+
+// Perturbed clones the engine, re-drawing the tiebreak priorities and
+// policy-noise assignments of a seeded fraction of ASes. This models
+// route churn between two points in time: most of the Internet decides
+// exactly as before, a few networks re-homed, re-tuned IGP costs, or
+// changed policy.
+func (e *Engine) Perturbed(frac float64, seed uint64) (*Engine, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("bgp: perturbation fraction %v out of [0,1]", frac)
+	}
+	n := e.g.NumASes()
+	cp := &Engine{
+		g:            e.g,
+		origin:       e.origin,
+		params:       e.params,
+		pinned:       append([]int(nil), e.pinned...),
+		ignorePoison: append([]bool(nil), e.ignorePoison...),
+		lengthBlind:  append([]bool(nil), e.lengthBlind...),
+		honorsComm:   append([]bool(nil), e.honorsComm...),
+		pri:          make([][]int32, n),
+		nbrPos:       e.nbrPos,
+		originASNSet: e.originASNSet,
+	}
+	copy(cp.pri, e.pri) // shared rows, replaced below for perturbed ASes
+	rng := stats.NewRNG(seed ^ 0xd21f7ed)
+	for i := 0; i < n; i++ {
+		if !rng.Bool(frac) {
+			continue
+		}
+		ns := e.g.Neighbors(i)
+		perm := rng.Perm(len(ns))
+		pr := make([]int32, len(ns))
+		for k := range ns {
+			pr[k] = int32(perm[k])
+		}
+		cp.pri[i] = pr
+		cp.pinned[i] = -1
+		if e.params.PolicyNoiseFrac > 0 && len(ns) > 0 && rng.Bool(e.params.PolicyNoiseFrac) {
+			cp.pinned[i] = ns[rng.Intn(len(ns))].Idx
+		}
+		cp.lengthBlind[i] = e.params.LengthBlindFrac > 0 && rng.Bool(e.params.LengthBlindFrac)
+	}
+	return cp, nil
+}
+
+// Origin returns the origin AS definition.
+func (e *Engine) Origin() Origin { return e.origin }
+
+// IgnoresPoison reports whether the AS at dense index i has loop
+// prevention disabled.
+func (e *Engine) IgnoresPoison(i int) bool { return e.ignorePoison[i] }
+
+// PinnedNeighbor returns the dense index of the neighbor AS i pins its
+// LocalPref to, or -1 if i follows Gao-Rexford preferences.
+func (e *Engine) PinnedNeighbor(i int) int { return e.pinned[i] }
+
+// route classes, ordered by decreasing LocalPref.
+const (
+	classPinned   int8 = 0 // policy-noise override
+	classCustomer int8 = 1
+	classPeer     int8 = 2
+	classProvider int8 = 3
+	classInvalid  int8 = 4
+)
+
+// selection is an AS's currently chosen route.
+type selection struct {
+	class   int8
+	ann     int16 // index into cfg.Anns
+	pathLen int32 // total AS-path length incl. initial announcement path
+	nextHop int32 // dense index of next-hop AS, or -1 for a direct origin link
+	pri     int32 // tiebreak priority of the next hop at this AS
+}
+
+var noRoute = selection{class: classInvalid, ann: -1, nextHop: -1, pathLen: 1 << 30, pri: 1 << 30}
+
+// betterFor reports whether a beats b in the BGP decision process of AS
+// i. Standard ASes compare (LocalPref class, path length, tiebreak);
+// length-blind ASes let their local tiebreak dominate length, modeling
+// routers whose IGP/MED/age tiebreakers decide before prepending can
+// bite.
+func (e *Engine) betterFor(i int, a, b selection) bool {
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if e.lengthBlind[i] {
+		if a.pri != b.pri {
+			return a.pri < b.pri
+		}
+		if a.pathLen != b.pathLen {
+			return a.pathLen < b.pathLen
+		}
+		return a.ann < b.ann
+	}
+	if a.pathLen != b.pathLen {
+		return a.pathLen < b.pathLen
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.ann < b.ann
+}
+
+// maxEvents caps update processing per propagation as a safety net
+// against policy dispute wheels; expressed as a multiple of the AS count.
+const maxEventsPerAS = 64
+
+// Propagate computes the routing outcome of the configuration: every
+// AS's selected route toward the origin prefix, from which catchments and
+// AS-paths derive. It is deterministic for a given engine and config.
+func (e *Engine) Propagate(cfg Config) (*Outcome, error) {
+	if err := cfg.Validate(e.origin); err != nil {
+		return nil, err
+	}
+	n := e.g.NumASes()
+	out := &Outcome{engine: e, cfg: cfg, sel: make([]selection, n), converged: true}
+	for i := range out.sel {
+		out.sel[i] = noRoute
+	}
+
+	ctx := e.buildCtx(cfg)
+
+	// directAnns[p] lists announcement indices arriving directly at
+	// provider dense index p.
+	directAnns := make(map[int][]int)
+	for ai, a := range cfg.Anns {
+		p := e.origin.Links[a.Link].Provider
+		directAnns[p] = append(directAnns[p], ai)
+	}
+
+	// Event-driven (Gauss-Seidel) processing: re-evaluate an AS's
+	// decision against the current state; on change, enqueue neighbors.
+	// Sequential processing plus the loop check below maintains the
+	// invariant that next-hop chains are always acyclic.
+	queued := make([]bool, n)
+	queue := make([]int, 0, n)
+	enqueue := func(i int) {
+		if !queued[i] {
+			queued[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for p := range directAnns {
+		enqueue(p)
+	}
+	// Deterministic initial order.
+	sortInts(queue)
+
+	events := 0
+	budget := maxEventsPerAS * n
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		queued[i] = false
+		events++
+		if events > budget {
+			// Policy dispute wheels can prevent convergence, as in real
+			// BGP; freeze the current (deterministic) state and report.
+			out.converged = false
+			return out, nil
+		}
+
+		best := noRoute
+		// Direct origin announcements (origin is a customer of the
+		// provider; always class customer unless pinned elsewhere).
+		for _, ai := range directAnns[i] {
+			a := cfg.Anns[ai]
+			if ctx.poisoned[ai] != nil && ctx.poisoned[ai][e.g.ASN(i)] && !e.ignorePoison[i] {
+				continue
+			}
+			cand := selection{
+				class:   classCustomer,
+				ann:     int16(ai),
+				pathLen: int32(a.PathLen()),
+				nextHop: -1,
+				pri:     -1, // direct customer routes beat equal-length alternatives
+			}
+			if e.betterFor(i, cand, best) {
+				best = cand
+			}
+		}
+		// Offers from neighbors, based on their current selections.
+		for k, nb := range e.g.Neighbors(i) {
+			cand, ok := e.offerFrom(out, nb, i, ctx)
+			if !ok {
+				continue
+			}
+			cand.pri = e.pri[i][k]
+			if e.pinned[i] == nb.Idx {
+				cand.class = classPinned
+			}
+			if e.betterFor(i, cand, best) {
+				best = cand
+			}
+		}
+		if best != out.sel[i] {
+			out.sel[i] = best
+			for _, nb := range e.g.Neighbors(i) {
+				enqueue(nb.Idx)
+			}
+		}
+	}
+	return out, nil
+}
+
+// propCtx carries the per-configuration lookup tables the decision
+// process needs: poison sets, tier-1 poison lists (for the route-leak
+// filter), and community action tables.
+type propCtx struct {
+	poisoned    []map[topo.ASN]bool
+	poisonTier1 [][]topo.ASN
+	comm        communityTables
+}
+
+// buildCtx precomputes the per-announcement tables for a configuration.
+func (e *Engine) buildCtx(cfg Config) *propCtx {
+	ctx := &propCtx{
+		poisoned:    make([]map[topo.ASN]bool, len(cfg.Anns)),
+		poisonTier1: make([][]topo.ASN, len(cfg.Anns)),
+		comm:        buildCommunityTables(cfg),
+	}
+	for ai, a := range cfg.Anns {
+		if len(a.Poison) == 0 {
+			continue
+		}
+		m := make(map[topo.ASN]bool, len(a.Poison))
+		for _, p := range a.Poison {
+			m[p] = true
+			if idx, ok := e.g.Index(p); ok && e.g.IsTier1(idx) {
+				ctx.poisonTier1[ai] = append(ctx.poisonTier1[ai], p)
+			}
+		}
+		ctx.poisoned[ai] = m
+	}
+	return ctx
+}
+
+// offerFrom computes the route neighbor nb (as seen from receiver i)
+// currently exports to i, applying valley-free export rules, loop
+// prevention, poisoning, and the tier-1 route-leak filter. The returned
+// selection has class set from i's point of view and pri unset.
+func (e *Engine) offerFrom(out *Outcome, nb topo.Neighbor, i int, ctx *propCtx) (selection, bool) {
+	s := out.sel[nb.Idx]
+	if s.class == classInvalid {
+		return selection{}, false
+	}
+	// Export filter at the sender: customer-learned (or direct origin)
+	// routes go to everyone; peer/provider-learned routes only to
+	// customers. A pinned selection exports according to the true
+	// relationship class of its next hop. nb.Rel is nb's relationship to
+	// i from i's view, so i is nb's customer exactly when nb.Rel is
+	// RelProvider.
+	sendClass := e.trueClass(nb.Idx, s)
+	if sendClass != classCustomer && nb.Rel != topo.RelProvider {
+		return selection{}, false
+	}
+	ai := int(s.ann)
+	iASN := e.g.ASN(i)
+	nbASN := e.g.ASN(nb.Idx)
+	// Action communities at the exporting AS: suppress or lengthen the
+	// export toward i if nb honors them.
+	remotePrepend := int32(0)
+	if e.honorsComm[nb.Idx] {
+		if hasCommunity(ctx.comm.noExport, ai, nbASN, iASN) {
+			return selection{}, false
+		}
+		if hasCommunity(ctx.comm.prepend, ai, nbASN, iASN) {
+			remotePrepend = remotePrependDepth
+		}
+	}
+	// Loop prevention on the embedded poison sentinels.
+	if ctx.poisoned[ai] != nil && ctx.poisoned[ai][iASN] && !e.ignorePoison[i] {
+		return selection{}, false
+	}
+	// Loop prevention on the actual path: reject if i already forwards
+	// for this route (walk the acyclic next-hop chain).
+	hop := nb.Idx
+	for hop != -1 {
+		if hop == i {
+			return selection{}, false
+		}
+		hop = int(out.sel[hop].nextHop)
+	}
+	// Tier-1 route-leak filter: a tier-1 drops customer-learned routes
+	// whose path contains another tier-1 (natural or poisoned). A
+	// poisoned copy of the receiver's own ASN does not trip the filter —
+	// that is plain loop prevention, handled above.
+	if e.params.Tier1PoisonFilter && e.g.IsTier1(i) && nb.Rel == topo.RelCustomer {
+		for _, p := range ctx.poisonTier1[ai] {
+			if p != iASN {
+				return selection{}, false
+			}
+		}
+		hop = nb.Idx
+		for hop != -1 {
+			if e.g.IsTier1(hop) {
+				return selection{}, false
+			}
+			hop = int(out.sel[hop].nextHop)
+		}
+	}
+	class := classProvider
+	switch nb.Rel {
+	case topo.RelCustomer:
+		class = classCustomer
+	case topo.RelPeer:
+		class = classPeer
+	}
+	return selection{
+		class:   class,
+		ann:     s.ann,
+		pathLen: s.pathLen + 1 + remotePrepend,
+		nextHop: int32(nb.Idx),
+	}, true
+}
+
+// trueClass maps a selection back to its relationship class (resolving
+// pinned overrides) for export decisions.
+func (e *Engine) trueClass(owner int, s selection) int8 {
+	if s.nextHop == -1 {
+		return classCustomer // direct origin announcement: origin is a customer
+	}
+	rel, ok := e.g.Rel(owner, int(s.nextHop))
+	if !ok {
+		return classProvider
+	}
+	switch rel {
+	case topo.RelCustomer:
+		return classCustomer
+	case topo.RelPeer:
+		return classPeer
+	default:
+		return classProvider
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package bgp
+
+import "testing"
+
+func TestLengthBlindResistsPrepending(t *testing.T) {
+	g, o := diamond(t)
+	src := g.MustIndex(5)
+	// Find a seed where src is length-blind and pins nothing.
+	for seed := uint64(0); seed < 128; seed++ {
+		p := Params{Seed: seed, LengthBlindFrac: 1.0}
+		e := newEngine(t, g, o, p)
+		// Determine src's default choice among its two equal provider
+		// routes (pure tiebreak).
+		base := propagate(t, e, Config{Anns: []Announcement{{Link: 0}, {Link: 1}}})
+		defaultLink := base.CatchmentOf(src)
+		// Prepend src's current link: a length-sensitive AS would move;
+		// a length-blind AS must stay (its priority dominates).
+		cfg := Config{Anns: []Announcement{{Link: 0}, {Link: 1}}}
+		cfg.Anns[defaultLink].Prepend = 4
+		out := propagate(t, e, cfg)
+		if got := out.CatchmentOf(src); got != defaultLink {
+			t.Fatalf("length-blind src moved from link %d to %d under prepending", defaultLink, got)
+		}
+		return
+	}
+	t.Fatal("no suitable seed found")
+}
+
+func TestLengthBlindStillRespectsLocalPref(t *testing.T) {
+	g, o := diamond(t)
+	p := noiseless()
+	p.LengthBlindFrac = 1.0
+	e := newEngine(t, g, o, p)
+	out := propagate(t, e, Config{Anns: []Announcement{{Link: 0}}})
+	// t1 must still choose its customer route via a over the peer route
+	// via t2: LocalPref classes come before any tiebreak.
+	if nh := out.NextHop(g.MustIndex(1)); nh != g.MustIndex(3) {
+		t.Fatalf("length-blind t1 next hop %d, want customer a", nh)
+	}
+}
+
+func TestOutcomeConvergedFlag(t *testing.T) {
+	g, o := diamond(t)
+	e := newEngine(t, g, o, noiseless())
+	out := propagate(t, e, Config{Anns: []Announcement{{Link: 0}}})
+	if !out.Converged() {
+		t.Fatal("simple topology should converge")
+	}
+}
+
+func TestPerturbedEngine(t *testing.T) {
+	g, o := worldForTest(t, 66, 1000)
+	e := newEngine(t, g, o, DefaultParams(66))
+	cfg := allLinksConfig(7)
+	base := propagate(t, e, cfg).CatchmentVector()
+
+	// Zero perturbation: identical routing.
+	same, err := e.Perturbed(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := propagate(t, same, cfg).CatchmentVector()
+	for i := range v {
+		if v[i] != base[i] {
+			t.Fatal("zero perturbation changed routing")
+		}
+	}
+
+	// Partial perturbation: some but not all catchments change.
+	drift, err := e.Perturbed(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := propagate(t, drift, cfg).CatchmentVector()
+	changed := 0
+	for i := range v2 {
+		if v2[i] != base[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("10% perturbation changed nothing")
+	}
+	if changed > len(v2)/2 {
+		t.Fatalf("10%% perturbation changed %d of %d catchments", changed, len(v2))
+	}
+
+	// The original engine is untouched.
+	v3 := propagate(t, e, cfg).CatchmentVector()
+	for i := range v3 {
+		if v3[i] != base[i] {
+			t.Fatal("Perturbed mutated the base engine")
+		}
+	}
+
+	if _, err := e.Perturbed(-0.1, 1); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}
+
+func TestDefaultParamsKnobs(t *testing.T) {
+	p := DefaultParams(1)
+	if p.PolicyNoiseFrac <= 0 || p.LengthBlindFrac <= 0 || p.IgnorePoisonFrac <= 0 {
+		t.Fatal("default realism knobs should be enabled")
+	}
+	if p.CommunitySupportFrac <= 0 || p.CommunitySupportFrac > 1 {
+		t.Fatal("community support fraction out of range")
+	}
+	if !p.Tier1PoisonFilter {
+		t.Fatal("tier-1 filter should default on")
+	}
+}

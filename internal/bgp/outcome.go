@@ -1,0 +1,167 @@
+package bgp
+
+import "spooftrack/internal/topo"
+
+// Outcome is the routing state after a configuration converges: every
+// AS's selected route toward the origin prefix. Outcomes are immutable
+// and safe for concurrent reads.
+type Outcome struct {
+	engine    *Engine
+	cfg       Config
+	sel       []selection
+	converged bool
+}
+
+// Converged reports whether route processing reached a fixpoint. False
+// indicates a policy dispute froze mid-oscillation (rare; the state is
+// still deterministic and usable, mirroring persistently oscillating
+// real-world configurations).
+func (o *Outcome) Converged() bool { return o.converged }
+
+// Config returns the configuration that produced this outcome.
+func (o *Outcome) Config() Config { return o.cfg }
+
+// Graph returns the topology the outcome was computed over.
+func (o *Outcome) Graph() *topo.Graph { return o.engine.g }
+
+// HasRoute reports whether the AS at dense index i has any route to the
+// prefix.
+func (o *Outcome) HasRoute(i int) bool { return o.sel[i].class != classInvalid }
+
+// CatchmentOf returns the peering link whose catchment contains the AS at
+// dense index i, or NoLink if i has no route.
+func (o *Outcome) CatchmentOf(i int) LinkID {
+	s := o.sel[i]
+	if s.class == classInvalid {
+		return NoLink
+	}
+	return o.cfg.Anns[s.ann].Link
+}
+
+// CatchmentVector returns, for every AS, the link of its catchment
+// (NoLink for ASes with no route). The slice is freshly allocated.
+func (o *Outcome) CatchmentVector() []LinkID {
+	v := make([]LinkID, len(o.sel))
+	for i := range o.sel {
+		v[i] = o.CatchmentOf(i)
+	}
+	return v
+}
+
+// Catchments groups ASes by peering link: result[l] lists the dense
+// indices of all ASes whose traffic enters on link l. ASes without a
+// route appear in no catchment.
+func (o *Outcome) Catchments() map[LinkID][]int {
+	m := make(map[LinkID][]int)
+	for i := range o.sel {
+		if l := o.CatchmentOf(i); l != NoLink {
+			m[l] = append(m[l], i)
+		}
+	}
+	return m
+}
+
+// NextHop returns the dense index of the next-hop AS on i's route, or -1
+// if the route is a direct origin link (or i has no route).
+func (o *Outcome) NextHop(i int) int {
+	s := o.sel[i]
+	if s.class == classInvalid {
+		return -1
+	}
+	return int(s.nextHop)
+}
+
+// ASPath returns the control-plane AS-path the AS at dense index i
+// selects, as a BGP collector peering with i would observe it: i's own
+// ASN first, then the ASNs along the forwarding chain, then the
+// announcement's initial path (origin prepends and poison sentinels).
+// It returns nil if i has no route.
+func (o *Outcome) ASPath(i int) []topo.ASN {
+	s := o.sel[i]
+	if s.class == classInvalid {
+		return nil
+	}
+	var path []topo.ASN
+	hop := i
+	for hop != -1 {
+		path = append(path, o.engine.g.ASN(hop))
+		hop = int(o.sel[hop].nextHop)
+	}
+	return append(path, o.cfg.Anns[o.sel[i].ann].InitialPath(o.engine.origin.ASN)...)
+}
+
+// DataPath returns the AS-level data-plane path from the AS at dense
+// index i to the origin as the dense indices of the traversed topology
+// ASes (starting with i itself). Unlike ASPath it contains no prepend or
+// poison stuffing — the data plane does not see those. The origin AS
+// (external to the topology) is implicitly the final hop. It returns nil
+// if i has no route.
+func (o *Outcome) DataPath(i int) []int {
+	s := o.sel[i]
+	if s.class == classInvalid {
+		return nil
+	}
+	var path []int
+	hop := i
+	for hop != -1 {
+		path = append(path, hop)
+		hop = int(o.sel[hop].nextHop)
+	}
+	return path
+}
+
+// PathLen returns the AS-path length of the route as received by i —
+// the number of ASNs in the path i selected, including announcement
+// stuffing but excluding i's own ASN (standard BGP semantics: a router
+// prepends its own ASN only when re-exporting). It returns -1 if i has
+// no route.
+func (o *Outcome) PathLen(i int) int {
+	s := o.sel[i]
+	if s.class == classInvalid {
+		return -1
+	}
+	return int(s.pathLen)
+}
+
+// RouteClass describes how an AS learned its selected route.
+type RouteClass int8
+
+const (
+	// RouteNone means the AS has no route.
+	RouteNone RouteClass = iota
+	// RouteCustomer means the route was learned from a customer (or is
+	// a direct origin announcement, the origin being a customer).
+	RouteCustomer
+	// RoutePeer means the route was learned from a peer.
+	RoutePeer
+	// RouteProvider means the route was learned from a provider.
+	RouteProvider
+)
+
+// ClassOf returns how the AS at dense index i learned its route, based
+// on the true relationship to its next hop (pinned overrides resolved).
+func (o *Outcome) ClassOf(i int) RouteClass {
+	s := o.sel[i]
+	if s.class == classInvalid {
+		return RouteNone
+	}
+	switch o.engine.trueClass(i, s) {
+	case classCustomer:
+		return RouteCustomer
+	case classPeer:
+		return RoutePeer
+	default:
+		return RouteProvider
+	}
+}
+
+// NumRouted returns the number of ASes with a route to the prefix.
+func (o *Outcome) NumRouted() int {
+	n := 0
+	for i := range o.sel {
+		if o.sel[i].class != classInvalid {
+			n++
+		}
+	}
+	return n
+}

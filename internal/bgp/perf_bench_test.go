@@ -1,0 +1,20 @@
+package bgp
+
+import (
+	"testing"
+)
+
+func BenchmarkPropagateFullScale(b *testing.B) {
+	g, o := worldForTest(b, 42, 4000)
+	e, err := NewEngine(g, o, DefaultParams(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := allLinksConfig(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Propagate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

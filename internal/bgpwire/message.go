@@ -1,0 +1,359 @@
+// Package bgpwire implements the BGP-4 session protocol (RFC 4271) at
+// the subset a PEERING-style announcement platform and its route
+// collectors need: OPEN with the four-octet-AS capability (RFC 6793),
+// UPDATE carrying IPv4 unicast announcements with ORIGIN / AS_PATH /
+// NEXT_HOP attributes, KEEPALIVE, NOTIFICATION, and a session state
+// machine over TCP (session.go). cmd/bgpsim can serve a simulated
+// configuration's routes over real BGP sessions with it.
+package bgpwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"spooftrack/internal/topo"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	MsgOpen         = 1
+	MsgUpdate       = 2
+	MsgNotification = 3
+	MsgKeepalive    = 4
+)
+
+// Protocol constants.
+const (
+	headerLen  = 19
+	maxMsgLen  = 4096
+	bgpVersion = 4
+	// asTrans is the 2-byte AS placeholder when the real AS needs four
+	// octets (RFC 6793).
+	asTrans = 23456
+)
+
+// Open is the session-establishment message.
+type Open struct {
+	AS       topo.ASN
+	HoldTime uint16
+	BGPID    uint32
+}
+
+// Update is an IPv4 unicast route announcement. Withdrawals carry an
+// empty Path and a non-empty Withdrawn list.
+type Update struct {
+	Path      []topo.ASN
+	NextHop   netip.Addr
+	Prefixes  []netip.Prefix
+	Withdrawn []netip.Prefix
+}
+
+// Notification reports a fatal session error (RFC 4271 §4.5).
+type Notification struct {
+	Code, Subcode uint8
+	Data          []byte
+}
+
+// Error renders the notification as an error value.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp NOTIFICATION code %d subcode %d", n.Code, n.Subcode)
+}
+
+// Common notification codes.
+const (
+	NotifCease        = 6
+	NotifOpenError    = 2
+	NotifHoldTimerExp = 4
+	NotifMsgHeaderErr = 1
+	NotifUpdateMsgErr = 3
+	NotifFSMError     = 5
+)
+
+// Keepalive has no body.
+type Keepalive struct{}
+
+var marker = func() [16]byte {
+	var m [16]byte
+	for i := range m {
+		m[i] = 0xff
+	}
+	return m
+}()
+
+// frame wraps a message body with the BGP header.
+func frame(msgType byte, body []byte) ([]byte, error) {
+	total := headerLen + len(body)
+	if total > maxMsgLen {
+		return nil, fmt.Errorf("bgpwire: message of %d bytes exceeds maximum", total)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, marker[:]...)
+	out = binary.BigEndian.AppendUint16(out, uint16(total))
+	out = append(out, msgType)
+	return append(out, body...), nil
+}
+
+// MarshalOpen encodes an OPEN with the four-octet-AS capability.
+func MarshalOpen(o *Open) ([]byte, error) {
+	body := make([]byte, 0, 10+8)
+	body = append(body, bgpVersion)
+	as2 := uint16(o.AS)
+	if o.AS > 0xffff {
+		as2 = asTrans
+	}
+	body = binary.BigEndian.AppendUint16(body, as2)
+	body = binary.BigEndian.AppendUint16(body, o.HoldTime)
+	body = binary.BigEndian.AppendUint32(body, o.BGPID)
+	// Optional parameters: one capabilities parameter (type 2)
+	// containing the four-octet-AS capability (code 65, length 4).
+	cap := []byte{65, 4}
+	cap = binary.BigEndian.AppendUint32(cap, uint32(o.AS))
+	param := append([]byte{2, byte(len(cap))}, cap...)
+	body = append(body, byte(len(param)))
+	body = append(body, param...)
+	return frame(MsgOpen, body)
+}
+
+// parseOpen decodes an OPEN body.
+func parseOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, fmt.Errorf("bgpwire: OPEN too short")
+	}
+	if body[0] != bgpVersion {
+		return nil, fmt.Errorf("bgpwire: unsupported BGP version %d", body[0])
+	}
+	o := &Open{
+		AS:       topo.ASN(binary.BigEndian.Uint16(body[1:])),
+		HoldTime: binary.BigEndian.Uint16(body[3:]),
+		BGPID:    binary.BigEndian.Uint32(body[5:]),
+	}
+	optLen := int(body[9])
+	if len(body) < 10+optLen {
+		return nil, fmt.Errorf("bgpwire: truncated OPEN parameters")
+	}
+	params := body[10 : 10+optLen]
+	for len(params) > 0 {
+		if len(params) < 2 {
+			return nil, fmt.Errorf("bgpwire: truncated optional parameter")
+		}
+		pType, pLen := params[0], int(params[1])
+		if len(params) < 2+pLen {
+			return nil, fmt.Errorf("bgpwire: optional parameter overrun")
+		}
+		if pType == 2 { // capabilities
+			caps := params[2 : 2+pLen]
+			for len(caps) > 0 {
+				if len(caps) < 2 || len(caps) < 2+int(caps[1]) {
+					return nil, fmt.Errorf("bgpwire: truncated capability")
+				}
+				if caps[0] == 65 && caps[1] == 4 {
+					o.AS = topo.ASN(binary.BigEndian.Uint32(caps[2:]))
+				}
+				caps = caps[2+int(caps[1]):]
+			}
+		}
+		params = params[2+pLen:]
+	}
+	return o, nil
+}
+
+// MarshalUpdate encodes an UPDATE with 4-byte AS_PATH encoding.
+func MarshalUpdate(u *Update) ([]byte, error) {
+	var body []byte
+	// Withdrawn routes.
+	var withdrawn []byte
+	for _, p := range u.Withdrawn {
+		enc, err := encodePrefix(p)
+		if err != nil {
+			return nil, err
+		}
+		withdrawn = append(withdrawn, enc...)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(withdrawn)))
+	body = append(body, withdrawn...)
+
+	var attrs []byte
+	if len(u.Prefixes) > 0 {
+		if len(u.Path) == 0 || len(u.Path) > 255 {
+			return nil, fmt.Errorf("bgpwire: AS path length %d invalid", len(u.Path))
+		}
+		if !u.NextHop.Is4() {
+			return nil, fmt.Errorf("bgpwire: next hop %v is not IPv4", u.NextHop)
+		}
+		attrs = append(attrs, 0x40, 1, 1, 0) // ORIGIN IGP
+		pathLen := 2 + 4*len(u.Path)
+		if pathLen > 255 {
+			attrs = append(attrs, 0x50, 2, byte(pathLen>>8), byte(pathLen))
+		} else {
+			attrs = append(attrs, 0x40, 2, byte(pathLen))
+		}
+		attrs = append(attrs, 2, byte(len(u.Path))) // AS_SEQUENCE
+		for _, asn := range u.Path {
+			attrs = binary.BigEndian.AppendUint32(attrs, uint32(asn))
+		}
+		nh := u.NextHop.As4()
+		attrs = append(attrs, 0x40, 3, 4)
+		attrs = append(attrs, nh[:]...)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+	body = append(body, attrs...)
+	for _, p := range u.Prefixes {
+		enc, err := encodePrefix(p)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, enc...)
+	}
+	return frame(MsgUpdate, body)
+}
+
+func encodePrefix(p netip.Prefix) ([]byte, error) {
+	if !p.Addr().Is4() {
+		return nil, fmt.Errorf("bgpwire: prefix %v is not IPv4", p)
+	}
+	addr := p.Addr().As4()
+	return append([]byte{byte(p.Bits())}, addr[:(p.Bits()+7)/8]...), nil
+}
+
+func decodePrefixes(data []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(data) > 0 {
+		bits := int(data[0])
+		nBytes := (bits + 7) / 8
+		if bits > 32 || len(data) < 1+nBytes {
+			return nil, fmt.Errorf("bgpwire: bad prefix encoding")
+		}
+		var a [4]byte
+		copy(a[:], data[1:1+nBytes])
+		out = append(out, netip.PrefixFrom(netip.AddrFrom4(a), bits))
+		data = data[1+nBytes:]
+	}
+	return out, nil
+}
+
+// parseUpdate decodes an UPDATE body.
+func parseUpdate(body []byte) (*Update, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("bgpwire: UPDATE too short")
+	}
+	wLen := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+wLen+2 {
+		return nil, fmt.Errorf("bgpwire: truncated withdrawn routes")
+	}
+	u := &Update{}
+	var err error
+	if wLen > 0 {
+		u.Withdrawn, err = decodePrefixes(body[2 : 2+wLen])
+		if err != nil {
+			return nil, err
+		}
+	}
+	aLen := int(binary.BigEndian.Uint16(body[2+wLen:]))
+	attrStart := 4 + wLen
+	if len(body) < attrStart+aLen {
+		return nil, fmt.Errorf("bgpwire: truncated attributes")
+	}
+	attrs := body[attrStart : attrStart+aLen]
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return nil, fmt.Errorf("bgpwire: truncated attribute")
+		}
+		flags, code := attrs[0], attrs[1]
+		var vLen, hdr int
+		if flags&0x10 != 0 {
+			if len(attrs) < 4 {
+				return nil, fmt.Errorf("bgpwire: truncated extended attribute")
+			}
+			vLen, hdr = int(binary.BigEndian.Uint16(attrs[2:])), 4
+		} else {
+			vLen, hdr = int(attrs[2]), 3
+		}
+		if len(attrs) < hdr+vLen {
+			return nil, fmt.Errorf("bgpwire: attribute overrun")
+		}
+		val := attrs[hdr : hdr+vLen]
+		switch code {
+		case 2: // AS_PATH
+			for len(val) > 0 {
+				if len(val) < 2 || val[0] != 2 {
+					return nil, fmt.Errorf("bgpwire: unsupported AS_PATH segment")
+				}
+				n := int(val[1])
+				if len(val) < 2+4*n {
+					return nil, fmt.Errorf("bgpwire: truncated AS_PATH")
+				}
+				for i := 0; i < n; i++ {
+					u.Path = append(u.Path, topo.ASN(binary.BigEndian.Uint32(val[2+4*i:])))
+				}
+				val = val[2+4*n:]
+			}
+		case 3: // NEXT_HOP
+			if vLen != 4 {
+				return nil, fmt.Errorf("bgpwire: bad NEXT_HOP length")
+			}
+			var a [4]byte
+			copy(a[:], val)
+			u.NextHop = netip.AddrFrom4(a)
+		}
+		attrs = attrs[hdr+vLen:]
+	}
+	u.Prefixes, err = decodePrefixes(body[attrStart+aLen:])
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// MarshalKeepalive encodes a KEEPALIVE.
+func MarshalKeepalive() []byte {
+	out, _ := frame(MsgKeepalive, nil)
+	return out
+}
+
+// MarshalNotification encodes a NOTIFICATION.
+func MarshalNotification(n *Notification) ([]byte, error) {
+	body := append([]byte{n.Code, n.Subcode}, n.Data...)
+	return frame(MsgNotification, body)
+}
+
+// ReadMessage reads one framed message from the stream and decodes it
+// into *Open, *Update, *Notification, or Keepalive.
+func ReadMessage(r io.Reader) (any, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 16; i++ {
+		if hdr[i] != 0xff {
+			return nil, fmt.Errorf("bgpwire: bad marker")
+		}
+	}
+	total := int(binary.BigEndian.Uint16(hdr[16:]))
+	if total < headerLen || total > maxMsgLen {
+		return nil, fmt.Errorf("bgpwire: bad message length %d", total)
+	}
+	body := make([]byte, total-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	switch hdr[18] {
+	case MsgOpen:
+		return parseOpen(body)
+	case MsgUpdate:
+		return parseUpdate(body)
+	case MsgNotification:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("bgpwire: NOTIFICATION too short")
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("bgpwire: KEEPALIVE with body")
+		}
+		return Keepalive{}, nil
+	default:
+		return nil, fmt.Errorf("bgpwire: unknown message type %d", hdr[18])
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/cluster"
+	"spooftrack/internal/measure"
+	"spooftrack/internal/sched"
+	"spooftrack/internal/stats"
+)
+
+// CampaignOptions tunes a campaign run.
+type CampaignOptions struct {
+	// UseTruth skips the measurement pipeline and uses the routing
+	// engine's true catchments for every AS. Useful for isolating
+	// algorithmic behaviour from measurement noise (and much faster).
+	UseTruth bool
+	// Progress, if non-nil, is called after each deployed configuration
+	// with the number of configurations completed.
+	Progress func(done, total int)
+	// ConcurrentPrefixes deploys the plan over this many dedicated
+	// prefixes in parallel time slots (§V-C's first speedup: "use
+	// multiple prefixes and deploy multiple configurations
+	// concurrently"). Prefixes route independently, so catchments are
+	// unchanged; the campaign's simulated duration divides by this
+	// factor. Zero or one means a single prefix.
+	ConcurrentPrefixes int
+	// Parallelism bounds the worker pool that runs the measurement
+	// pipeline across configurations (host CPU parallelism, not a
+	// simulation parameter; results are bit-identical at any setting).
+	// Zero means GOMAXPROCS.
+	Parallelism int
+}
+
+// Campaign is the result of deploying a plan: per-configuration routing
+// outcomes, measurements, and the imputed source-catchment matrix that
+// clustering and scheduling consume.
+type Campaign struct {
+	World *World
+	Plan  []sched.PlannedConfig
+	// Outcomes[c] is the converged routing state of configuration c.
+	Outcomes []*bgp.Outcome
+	// Measurements[c] is the inferred per-AS catchment assignment
+	// (nil when the campaign ran with UseTruth).
+	Measurements []*measure.CatchmentMeasurement
+	// Sources are the dense AS indices under analysis (§IV-d: the ASes
+	// observed in the baseline configuration).
+	Sources []int
+	// Catchments[c][k] is the catchment of Sources[k] in configuration
+	// c after imputation.
+	Catchments [][]bgp.LinkID
+	// Imputed is the imputation report (nil with UseTruth).
+	Imputed *measure.ImputeResult
+	// Elapsed is the simulated experiment duration.
+	Elapsed time.Duration
+}
+
+// RunCampaign deploys every configuration of the plan in order, measures
+// (or reads off) catchments, and imputes visibility.
+func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*Campaign, error) {
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("core: empty plan")
+	}
+	c := &Campaign{World: w, Plan: plan}
+	rng := w.rngFor(0xc0113c7)
+
+	// Deploy sequentially (the platform clock and history are ordered
+	// state), collecting per-config RNGs in deployment order so results
+	// do not depend on measurement parallelism.
+	rngs := make([]*stats.RNG, len(plan))
+	for i, pc := range plan {
+		out, err := w.Platform.Deploy(pc.Config)
+		if err != nil {
+			return nil, fmt.Errorf("core: config %d (%v): %w", i, pc.Config, err)
+		}
+		c.Outcomes = append(c.Outcomes, out)
+		rngs[i] = rng.Split()
+	}
+
+	if !opts.UseTruth {
+		// Measurement is independent per configuration: fan out.
+		workers := opts.Parallelism
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(plan) {
+			workers = len(plan)
+		}
+		c.Measurements = make([]*measure.CatchmentMeasurement, len(plan))
+		errs := make([]error, len(plan))
+		var done int32
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					m, err := w.MeasureOutcome(c.Outcomes[i], i, rngs[i])
+					c.Measurements[i] = m
+					errs[i] = err
+					if opts.Progress != nil {
+						opts.Progress(int(atomic.AddInt32(&done, 1)), len(plan))
+					}
+				}
+			}()
+		}
+		for i := range plan {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("core: config %d: %w", i, err)
+			}
+		}
+	} else if opts.Progress != nil {
+		opts.Progress(len(plan), len(plan))
+	}
+	c.Elapsed = w.Platform.Elapsed()
+	if k := opts.ConcurrentPrefixes; k > 1 {
+		slots := (len(plan) + k - 1) / k
+		c.Elapsed = time.Duration(slots) * w.Platform.Constraints().ConfigDuration
+	}
+
+	if opts.UseTruth {
+		// Sources: every AS routed in the baseline configuration.
+		base := c.Outcomes[0]
+		for i := 0; i < w.Graph.NumASes(); i++ {
+			if base.HasRoute(i) {
+				c.Sources = append(c.Sources, i)
+			}
+		}
+		c.Catchments = make([][]bgp.LinkID, len(plan))
+		for cc, out := range c.Outcomes {
+			row := make([]bgp.LinkID, len(c.Sources))
+			for k, src := range c.Sources {
+				row[k] = out.CatchmentOf(src)
+			}
+			c.Catchments[cc] = row
+		}
+		return c, nil
+	}
+
+	c.Imputed = measure.Impute(c.Measurements)
+	c.Sources = c.Imputed.Sources
+	c.Catchments = c.Imputed.Catchments
+	return c, nil
+}
+
+// NumConfigs returns the number of deployed configurations.
+func (c *Campaign) NumConfigs() int { return len(c.Plan) }
+
+// NumSources returns the number of sources under analysis.
+func (c *Campaign) NumSources() int { return len(c.Sources) }
+
+// PartitionAfter returns the cluster partition after refining by the
+// first n configurations (n = 0 gives the single all-sources cluster).
+func (c *Campaign) PartitionAfter(n int) *cluster.Partition {
+	if n > len(c.Catchments) {
+		n = len(c.Catchments)
+	}
+	p := cluster.New(len(c.Sources))
+	for i := 0; i < n; i++ {
+		p.Refine(c.Catchments[i])
+	}
+	return p
+}
+
+// FinalPartition returns the partition after the whole campaign.
+func (c *Campaign) FinalPartition() *cluster.Partition {
+	return c.PartitionAfter(len(c.Catchments))
+}
+
+// MetricsTrajectory returns partition metrics after each configuration,
+// computed incrementally (Fig. 4).
+func (c *Campaign) MetricsTrajectory() []cluster.Metrics {
+	p := cluster.New(len(c.Sources))
+	out := make([]cluster.Metrics, 0, len(c.Catchments))
+	for _, labels := range c.Catchments {
+		p.Refine(labels)
+		out = append(out, p.Summarize())
+	}
+	return out
+}
+
+// PhasePartitions returns the partition at the end of each plan phase
+// (Fig. 3's three distributions).
+func (c *Campaign) PhasePartitions() map[sched.Phase]*cluster.Partition {
+	out := make(map[sched.Phase]*cluster.Partition, 3)
+	for _, ph := range []sched.Phase{sched.PhaseLocations, sched.PhasePrepending, sched.PhasePoisoning} {
+		end := sched.PhaseEnd(c.Plan, ph)
+		if end > 0 {
+			out[ph] = c.PartitionAfter(end)
+		}
+	}
+	return out
+}
+
+// SubCampaign restricts the campaign to the configurations selected by
+// keep (by index), reusing the already-measured catchments. This is how
+// Fig. 5/6 emulate networks with fewer PoPs without re-deploying.
+func (c *Campaign) SubCampaign(keep []int) *Campaign {
+	sub := &Campaign{World: c.World, Sources: c.Sources}
+	for _, i := range keep {
+		sub.Plan = append(sub.Plan, c.Plan[i])
+		sub.Outcomes = append(sub.Outcomes, c.Outcomes[i])
+		if c.Measurements != nil {
+			sub.Measurements = append(sub.Measurements, c.Measurements[i])
+		}
+		sub.Catchments = append(sub.Catchments, c.Catchments[i])
+	}
+	return sub
+}
+
+// ConfigsUsingOnlyLinks returns the indices of plan configurations whose
+// announcements use only the given links (for footprint emulation).
+func (c *Campaign) ConfigsUsingOnlyLinks(links []bgp.LinkID) []int {
+	allowed := make(map[bgp.LinkID]bool, len(links))
+	for _, l := range links {
+		allowed[l] = true
+	}
+	var keep []int
+	for i, pc := range c.Plan {
+		ok := true
+		for _, a := range pc.Config.Anns {
+			if !allowed[a.Link] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}

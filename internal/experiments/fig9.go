@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spooftrack/internal/policy"
+)
+
+// Fig9Result is the routing-policy compliance survey (Fig. 9): across
+// configurations, the distribution of the fraction of ASes following the
+// best-relationship criterion, and of the fraction following both
+// best-relationship and shortest-path (the Gao-Rexford model). The paper
+// concludes most ASes follow a well-defined, known behaviour.
+type Fig9Result struct {
+	Survey *policy.Survey
+	// MeanBestRel and MeanGaoRexford are the across-config means.
+	MeanBestRel, MeanGaoRexford float64
+}
+
+// Fig9 audits every configuration of the default campaign.
+func Fig9(lab *Lab) *Fig9Result {
+	s := &policy.Survey{}
+	eng := lab.World.Platform.Engine()
+	for _, out := range lab.Campaign.Outcomes {
+		s.Add(eng, out)
+	}
+	res := &Fig9Result{Survey: s}
+	res.MeanBestRel, res.MeanGaoRexford = s.Summary()
+	return res
+}
+
+// String renders both CDFs.
+func (r *Fig9Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 9: fraction of ASes following well-known routing policies\n")
+	fmt.Fprintf(&sb, "  mean compliance: best relationship %.3f, best relationship & shortest %.3f\n",
+		r.MeanBestRel, r.MeanGaoRexford)
+	render := func(name string, pts []policy.CDFPoint) {
+		fmt.Fprintf(&sb, "  %s:\n", name)
+		step := len(pts)/12 + 1
+		for i := 0; i < len(pts); i += step {
+			fmt.Fprintf(&sb, "    compliance<=%.3f cumfrac=%.3f\n", pts[i].Compliance, pts[i].CumFrac)
+		}
+	}
+	render("best relationship", r.Survey.BestRelCDF())
+	render("best relationship & shortest", r.Survey.GaoRexfordCDF())
+	return sb.String()
+}

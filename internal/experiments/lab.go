@@ -1,0 +1,97 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§V). Each driver consumes a Lab — a built world
+// plus a fully deployed and measured default campaign — and returns a
+// result struct that renders the same rows or series the paper reports.
+// The drivers are shared by cmd/spooftrack, the benchmark harness at the
+// repository root, and the integration tests.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"spooftrack/internal/core"
+	"spooftrack/internal/sched"
+	"spooftrack/internal/topo"
+)
+
+// Lab bundles the world and the default three-phase campaign all
+// experiments analyze.
+type Lab struct {
+	World    *core.World
+	Plan     []sched.PlannedConfig
+	Campaign *core.Campaign
+}
+
+// LabParams sizes a lab.
+type LabParams struct {
+	Seed uint64
+	// NumASes overrides the topology size (0 = default 4000).
+	NumASes int
+	// NumProbes overrides the probe count (0 = default 1600).
+	NumProbes int
+	// NumCollectors overrides the collector count (0 = default 250).
+	NumCollectors int
+	// MaxPoisonTargets overrides the poison-phase size (0 = paper's 347).
+	MaxPoisonTargets int
+	// UseTruth bypasses the measurement pipeline (faster; used by tests
+	// that only exercise the analysis).
+	UseTruth bool
+	// Progress, if non-nil, receives deployment progress.
+	Progress func(done, total int)
+}
+
+// NewLab builds a world and runs the default campaign.
+func NewLab(p LabParams) (*Lab, error) {
+	wp := core.DefaultWorldParams(p.Seed)
+	if p.NumASes > 0 {
+		tp := topo.DefaultGenParams(p.Seed)
+		tp.NumASes = p.NumASes
+		wp.Topo = &tp
+	}
+	if p.NumProbes > 0 {
+		wp.NumProbes = p.NumProbes
+	}
+	if p.NumCollectors > 0 {
+		wp.NumCollectors = p.NumCollectors
+	}
+	if p.MaxPoisonTargets > 0 {
+		wp.MaxPoisonTargets = p.MaxPoisonTargets
+	}
+	w, err := core.BuildWorld(wp)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := w.DefaultPlan()
+	if err != nil {
+		return nil, err
+	}
+	camp, err := w.RunCampaign(plan, core.CampaignOptions{UseTruth: p.UseTruth, Progress: p.Progress})
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{World: w, Plan: plan, Campaign: camp}, nil
+}
+
+// DefaultLabParams is the paper-scale configuration used by the
+// benchmark harness and the CLI.
+func DefaultLabParams() LabParams { return LabParams{Seed: 42} }
+
+var (
+	defaultLabOnce sync.Once
+	defaultLab     *Lab
+	defaultLabErr  error
+)
+
+// DefaultLab returns a process-wide shared paper-scale lab, built on
+// first use. Benchmarks reuse it so each figure's bench measures the
+// figure's analysis, not a repeated 705-configuration campaign.
+func DefaultLab() (*Lab, error) {
+	defaultLabOnce.Do(func() {
+		defaultLab, defaultLabErr = NewLab(DefaultLabParams())
+	})
+	if defaultLabErr != nil {
+		return nil, fmt.Errorf("experiments: building default lab: %w", defaultLabErr)
+	}
+	return defaultLab, nil
+}

@@ -1,0 +1,62 @@
+package flowspec
+
+import (
+	"net/netip"
+
+	"spooftrack/internal/addr"
+)
+
+// DropRulesForSources generates drop rules for the localization output:
+// one rule per prefix of each candidate source AS, matching traffic from
+// that prefix toward the protected destination prefix. protoUDP and the
+// amplification service port narrow the rules so legitimate traffic from
+// the same networks is unaffected.
+func DropRulesForSources(space *addr.Space, candidates []int, protect netip.Prefix, proto uint8, dstPort uint16) []Rule {
+	var rules []Rule
+	for _, as := range candidates {
+		for _, p := range space.PrefixesOf(as) {
+			r := Rule{
+				DstPrefix:       protect,
+				SrcPrefix:       p,
+				RateBytesPerSec: 0,
+			}
+			if proto != 0 {
+				r.Protos = []uint8{proto}
+			}
+			if dstPort != 0 {
+				r.DstPorts = []uint16{dstPort}
+			}
+			rules = append(rules, r)
+		}
+	}
+	return rules
+}
+
+// MarshalRules encodes a rule set into one byte stream (length-prefixed
+// records), ready to be disseminated to border routers.
+func MarshalRules(rules []Rule) ([]byte, error) {
+	var out []byte
+	for i := range rules {
+		data, err := rules[i].Marshal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// UnmarshalRules decodes a stream produced by MarshalRules.
+func UnmarshalRules(data []byte) ([]Rule, error) {
+	var rules []Rule
+	for len(data) > 0 {
+		r, err := Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, *r)
+		// Advance: 1 length byte + NLRI + 8 action bytes.
+		data = data[1+int(data[0])+8:]
+	}
+	return rules, nil
+}

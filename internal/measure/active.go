@@ -1,0 +1,101 @@
+package measure
+
+import (
+	"fmt"
+
+	"spooftrack/internal/addr"
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/stats"
+)
+
+// Verfploeter-style active catchment measurement (de Vries et al., IMC
+// 2017; cited as [11] in §I): the origin sends probes *sourced from the
+// anycast prefix* to a hitlist address in every AS; each reply routes
+// back toward the prefix and arrives on the replying AS's catchment
+// link. One probe per AS maps the whole catchment without any external
+// vantage points.
+//
+// The paper could not use this on PEERING ("concerns about executing
+// Internet-wide scans from the PEERING platform", §IV-b) and fell back
+// to collectors + RIPE Atlas; the package implements both so their
+// coverage and accuracy can be compared.
+
+// ActiveProbeParams tunes the hitlist sweep.
+type ActiveProbeParams struct {
+	// PrReply is the probability that an AS's hitlist address answers
+	// the ping (hitlists cover most but not all networks).
+	PrReply float64
+	// PrRateLimited is the probability a reply is lost to ICMP rate
+	// limiting even when the host would answer.
+	PrRateLimited float64
+}
+
+// DefaultActiveProbeParams reflects typical hitlist response rates.
+func DefaultActiveProbeParams() ActiveProbeParams {
+	return ActiveProbeParams{PrReply: 0.75, PrRateLimited: 0.05}
+}
+
+// ActiveProbeCatchments sweeps the hitlist under the given routing
+// outcome and returns the measured catchments. Replies follow the data
+// plane: the reply from AS a enters on a's true catchment link, so
+// responding ASes are measured exactly; silent ASes stay unobserved.
+func ActiveProbeCatchments(out *bgp.Outcome, space *addr.Space, p ActiveProbeParams, rng *stats.RNG) (*CatchmentMeasurement, error) {
+	if p.PrReply < 0 || p.PrReply > 1 || p.PrRateLimited < 0 || p.PrRateLimited > 1 {
+		return nil, fmt.Errorf("measure: active probe probabilities out of range: %+v", p)
+	}
+	g := out.Graph()
+	m := &CatchmentMeasurement{
+		Catchment: make([]bgp.LinkID, g.NumASes()),
+		Observed:  make([]bool, g.NumASes()),
+	}
+	for i := range m.Catchment {
+		m.Catchment[i] = bgp.NoLink
+	}
+	for i := 0; i < g.NumASes(); i++ {
+		// The probe only elicits a usable reply if the AS routes to the
+		// prefix at all (otherwise the reply has nowhere to go).
+		link := out.CatchmentOf(i)
+		if link == bgp.NoLink {
+			continue
+		}
+		// The hitlist address must exist and answer.
+		if _, ok := space.ASOf(space.HostAddr(i, 0)); !ok {
+			continue
+		}
+		if !rng.Bool(p.PrReply) || rng.Bool(p.PrRateLimited) {
+			continue
+		}
+		m.Catchment[i] = link
+		m.Observed[i] = true
+	}
+	return m, nil
+}
+
+// MergeMeasurements combines two catchment measurements for the same
+// configuration, preferring the primary's assignment where both observed
+// an AS (and counting disagreements as multi-catchment conflicts). Use
+// it to supplement feed+traceroute inference with an active sweep.
+func MergeMeasurements(primary, secondary *CatchmentMeasurement) *CatchmentMeasurement {
+	n := len(primary.Catchment)
+	out := &CatchmentMeasurement{
+		Catchment:      make([]bgp.LinkID, n),
+		Observed:       make([]bool, n),
+		MultiCatchment: primary.MultiCatchment,
+	}
+	copy(out.Catchment, primary.Catchment)
+	copy(out.Observed, primary.Observed)
+	for i := 0; i < n && i < len(secondary.Catchment); i++ {
+		if !secondary.Observed[i] {
+			continue
+		}
+		if !out.Observed[i] {
+			out.Observed[i] = true
+			out.Catchment[i] = secondary.Catchment[i]
+			continue
+		}
+		if out.Catchment[i] != secondary.Catchment[i] {
+			out.MultiCatchment++
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package measure
+
+import (
+	"testing"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/stats"
+	"spooftrack/internal/topo"
+)
+
+// Failure injection: the inference pipeline must degrade gracefully when
+// entire measurement modalities disappear or misbehave.
+
+func TestInferWithoutCollectors(t *testing.T) {
+	w := newMeasureWorld(t, 71, 800, 0, 300)
+	out, err := w.platform.Deploy(anycastAll(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Collect(out, w.vantages, w.space, DefaultNoise(), stats.NewRNG(1))
+	if len(obs.BGPPaths) != 0 {
+		t.Fatal("expected no collector paths")
+	}
+	m := Infer(obs, w.input)
+	if m.ObservedCount() == 0 {
+		t.Fatal("traceroutes alone should still observe ASes")
+	}
+	wrong := 0
+	for i := range m.Catchment {
+		if m.Observed[i] && m.Catchment[i] != out.CatchmentOf(i) {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(m.ObservedCount()); frac > 0.05 {
+		t.Fatalf("traceroute-only inference wrong for %.1f%%", frac*100)
+	}
+}
+
+func TestInferWithoutProbes(t *testing.T) {
+	w := newMeasureWorld(t, 72, 800, 150, 0)
+	out, err := w.platform.Deploy(anycastAll(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Collect(out, w.vantages, w.space, DefaultNoise(), stats.NewRNG(2))
+	if len(obs.Traceroutes) != 0 {
+		t.Fatal("expected no traceroutes")
+	}
+	m := Infer(obs, w.input)
+	if m.ObservedCount() == 0 {
+		t.Fatal("BGP paths alone should still observe ASes")
+	}
+	// Control-plane evidence is exact in this simulator.
+	for i := range m.Catchment {
+		if m.Observed[i] && m.Catchment[i] != out.CatchmentOf(i) {
+			t.Fatal("BGP-only inference produced a wrong catchment")
+		}
+	}
+}
+
+func TestInferEmptyObservation(t *testing.T) {
+	w := newMeasureWorld(t, 73, 400, 10, 10)
+	m := Infer(Observation{BGPPaths: map[int][]topo.ASN{}}, w.input)
+	if m.ObservedCount() != 0 || m.MultiCatchment != 0 {
+		t.Fatal("empty observation should observe nothing")
+	}
+}
+
+func TestInferTotalProbeLoss(t *testing.T) {
+	w := newMeasureWorld(t, 74, 600, 50, 200)
+	out, err := w.platform.Deploy(anycastAll(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := DefaultNoise()
+	noise.PrProbeFail = 1.0 // every traceroute lost
+	obs := Collect(out, w.vantages, w.space, noise, stats.NewRNG(3))
+	if len(obs.Traceroutes) != 0 {
+		t.Fatal("probe loss not applied")
+	}
+	m := Infer(obs, w.input)
+	if m.ObservedCount() == 0 {
+		t.Fatal("collector evidence should survive probe loss")
+	}
+}
+
+func TestInferSurvivesPathologicalNoise(t *testing.T) {
+	// Extreme unresponsiveness: inference must not crash and must not
+	// fabricate much. Accuracy bounds are loose by design.
+	w := newMeasureWorld(t, 75, 600, 30, 200)
+	out, err := w.platform.Deploy(anycastAll(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := NoiseParams{PrUnresponsive: 0.7, PrIXPHop: 0.3, RoutersPerAS: 3, Rounds: 2}
+	obs := Collect(out, w.vantages, w.space, noise, stats.NewRNG(4))
+	m := Infer(obs, w.input)
+	wrong := 0
+	for i := range m.Catchment {
+		if m.Observed[i] && m.Catchment[i] != out.CatchmentOf(i) {
+			wrong++
+		}
+	}
+	if m.ObservedCount() > 0 {
+		if frac := float64(wrong) / float64(m.ObservedCount()); frac > 0.25 {
+			t.Fatalf("pathological noise corrupted %.1f%% of observations", frac*100)
+		}
+	}
+}
+
+func TestImputeAllMissingConfig(t *testing.T) {
+	// A configuration where nothing was observed: smax is also blind
+	// there, so every cell stays unknown and clustering by that config
+	// cannot split anything.
+	mk := func(links []bgp.LinkID, observed []bool) *CatchmentMeasurement {
+		return &CatchmentMeasurement{Catchment: links, Observed: observed}
+	}
+	baseline := mk([]bgp.LinkID{0, 0, 1, 1}, []bool{true, true, true, true})
+	blackout := mk([]bgp.LinkID{bgp.NoLink, bgp.NoLink, bgp.NoLink, bgp.NoLink}, []bool{false, false, false, false})
+	res := Impute([]*CatchmentMeasurement{baseline, blackout})
+	if len(res.Sources) != 4 {
+		t.Fatalf("sources = %v", res.Sources)
+	}
+	for k := range res.Sources {
+		if res.Catchments[1][k] != bgp.NoLink {
+			t.Fatal("blackout config fabricated a catchment")
+		}
+	}
+	if res.Imputed != 0 {
+		t.Fatalf("Imputed = %d, want 0 (nothing to copy from)", res.Imputed)
+	}
+}

@@ -1,0 +1,109 @@
+package measure
+
+import (
+	"bytes"
+	"testing"
+
+	"spooftrack/internal/peering"
+	"spooftrack/internal/stats"
+	"spooftrack/internal/topo"
+)
+
+func TestMRTFeedRoundTrip(t *testing.T) {
+	w := newMeasureWorld(t, 55, 800, 100, 200)
+	out, err := w.platform.Deploy(anycastAll(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	obs := Collect(out, w.vantages, w.space, DefaultNoise(), rng)
+	if len(obs.BGPPaths) == 0 {
+		t.Fatal("no BGP paths collected")
+	}
+
+	var buf bytes.Buffer
+	if err := ExportMRT(&buf, obs, w.g, 42); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ImportMRT(&buf, w.g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(obs.BGPPaths) {
+		t.Fatalf("imported %d paths, exported %d", len(paths), len(obs.BGPPaths))
+	}
+	for c, want := range obs.BGPPaths {
+		got := paths[c]
+		if len(got) != len(want) {
+			t.Fatalf("collector %d path %v, want %v", c, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("collector %d path %v, want %v", c, got, want)
+			}
+		}
+	}
+}
+
+func TestRoundTripMRTPreservesInference(t *testing.T) {
+	w := newMeasureWorld(t, 56, 800, 100, 200)
+	out, err := w.platform.Deploy(anycastAll(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(6)
+	obs1 := Collect(out, w.vantages, w.space, DefaultNoise(), rng)
+	obs2 := Observation{BGPPaths: map[int][]topo.ASN{}, Traceroutes: obs1.Traceroutes}
+	for c, p := range obs1.BGPPaths {
+		obs2.BGPPaths[c] = p
+	}
+	if err := RoundTripMRT(&obs2, w.g, 1); err != nil {
+		t.Fatal(err)
+	}
+	m1 := Infer(obs1, w.input)
+	m2 := Infer(obs2, w.input)
+	for i := range m1.Catchment {
+		if m1.Catchment[i] != m2.Catchment[i] {
+			t.Fatalf("wire round-trip changed inference for AS index %d", i)
+		}
+	}
+}
+
+func TestExportMRTDeterministic(t *testing.T) {
+	w := newMeasureWorld(t, 57, 600, 50, 50)
+	out, err := w.platform.Deploy(anycastAll(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Collect(out, w.vantages, w.space, NoiseParams{RoutersPerAS: 1}, stats.NewRNG(1))
+	var b1, b2 bytes.Buffer
+	if err := ExportMRT(&b1, obs, w.g, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportMRT(&b2, obs, w.g, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("MRT export not deterministic")
+	}
+}
+
+func TestImportMRTRejectsUnknownPeer(t *testing.T) {
+	w := newMeasureWorld(t, 58, 400, 10, 10)
+	obs := Observation{BGPPaths: map[int][]topo.ASN{
+		5: {w.g.ASN(5), peering.PEERINGASN},
+	}}
+	var buf bytes.Buffer
+	if err := ExportMRT(&buf, obs, w.g, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A graph that does not contain the peer.
+	b := topo.NewBuilder()
+	if err := b.AddP2C(1000001, 1000002); err != nil {
+		t.Fatal(err)
+	}
+	other := b.Freeze()
+	if _, err := ImportMRT(&buf, other); err == nil {
+		t.Fatal("unknown peer accepted")
+	}
+}

@@ -1,0 +1,325 @@
+package measure
+
+import (
+	"strings"
+
+	"spooftrack/internal/addr"
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/topo"
+)
+
+// CatchmentMeasurement is the inferred catchment assignment for one
+// deployed configuration.
+type CatchmentMeasurement struct {
+	// Catchment[i] is the link whose catchment AS i was inferred to be
+	// in, or bgp.NoLink when i was not observed.
+	Catchment []bgp.LinkID
+	// Observed[i] reports whether any evidence covered AS i.
+	Observed []bool
+	// MultiCatchment is the number of ASes with conflicting evidence
+	// (observed in more than one catchment, §IV-c reports 2.28% on
+	// average).
+	MultiCatchment int
+}
+
+// ObservedCount returns the number of ASes with any evidence.
+func (m *CatchmentMeasurement) ObservedCount() int {
+	n := 0
+	for _, o := range m.Observed {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+// InferInput carries the static context the inference pipeline needs.
+type InferInput struct {
+	Graph  *topo.Graph
+	Mapper addr.Mapper
+	// OriginASN terminates AS-paths (announcement stuffing starts at its
+	// first occurrence).
+	OriginASN topo.ASN
+	// LinkOf resolves a provider AS (dense index) to its peering link;
+	// ok=false if the AS is not a platform provider.
+	LinkOf func(provider int) (bgp.LinkID, bool)
+}
+
+// Infer runs the full §IV-b/c pipeline on one observation: repairs
+// traceroutes, maps them to AS-level paths, extracts catchment evidence
+// from BGP paths (high priority) and traceroutes (low priority), and
+// resolves conflicts by priority then majority vote.
+func Infer(obs Observation, in InferInput) *CatchmentMeasurement {
+	n := in.Graph.NumASes()
+	m := &CatchmentMeasurement{
+		Catchment: make([]bgp.LinkID, n),
+		Observed:  make([]bool, n),
+	}
+	for i := range m.Catchment {
+		m.Catchment[i] = bgp.NoLink
+	}
+
+	// evidence[i] counts observations per link, separately by source
+	// type; small fixed-size maps keyed by link.
+	type votes map[bgp.LinkID]int
+	bgpVotes := make(map[int]votes)
+	trVotes := make(map[int]votes)
+	add := func(dst map[int]votes, as int, l bgp.LinkID) {
+		v, ok := dst[as]
+		if !ok {
+			v = make(votes, 2)
+			dst[as] = v
+		}
+		v[l]++
+	}
+
+	// BGP evidence: every AS on a collector's path up to the provider is
+	// routed via that path's link.
+	seqIdx := newASSeqIndex(obs.BGPPaths, in.OriginASN)
+	for _, path := range obs.BGPPaths {
+		prefix, provider, ok := splitPath(path, in.OriginASN, in.Graph, in.LinkOf)
+		if !ok {
+			continue
+		}
+		for _, as := range prefix {
+			add(bgpVotes, as, provider)
+		}
+	}
+
+	// Traceroute evidence, after the three repair stages.
+	repaired := RepairUnresponsive(obs.Traceroutes)
+	for _, tr := range repaired {
+		asPath := ASLevelPath(tr, in.Graph, in.Mapper, seqIdx)
+		if len(asPath) == 0 {
+			continue
+		}
+		provider := asPath[len(asPath)-1]
+		link, ok := in.LinkOf(provider)
+		if !ok {
+			continue // mapping noise garbled the provider; unattributable
+		}
+		for _, as := range asPath {
+			add(trVotes, as, link)
+		}
+	}
+
+	// Resolution: BGP beats traceroute; within a type, majority vote
+	// with deterministic tie-breaking toward the lowest link id.
+	resolve := func(v votes) bgp.LinkID {
+		best, bestN := bgp.NoLink, 0
+		for l, c := range v {
+			if c > bestN || (c == bestN && l < best) {
+				best, bestN = l, c
+			}
+		}
+		return best
+	}
+	for i := 0; i < n; i++ {
+		bv, hasB := bgpVotes[i]
+		tv, hasT := trVotes[i]
+		if !hasB && !hasT {
+			continue
+		}
+		m.Observed[i] = true
+		if hasB {
+			m.Catchment[i] = resolve(bv)
+		} else {
+			m.Catchment[i] = resolve(tv)
+		}
+		// Conflict accounting across all evidence.
+		links := make(map[bgp.LinkID]bool, 2)
+		for l := range bv {
+			links[l] = true
+		}
+		for l := range tv {
+			links[l] = true
+		}
+		if len(links) > 1 {
+			m.MultiCatchment++
+		}
+	}
+	return m
+}
+
+// splitPath cuts an AS-path at the first occurrence of the origin ASN
+// and resolves the provider (last topology AS before it) to a link. The
+// returned prefix contains dense indices of all topology ASes before the
+// origin.
+func splitPath(path []topo.ASN, origin topo.ASN, g *topo.Graph, linkOf func(int) (bgp.LinkID, bool)) ([]int, bgp.LinkID, bool) {
+	cut := -1
+	for k, asn := range path {
+		if asn == origin {
+			cut = k
+			break
+		}
+	}
+	if cut <= 0 {
+		return nil, bgp.NoLink, false
+	}
+	provIdx, ok := g.Index(path[cut-1])
+	if !ok {
+		return nil, bgp.NoLink, false
+	}
+	link, ok := linkOf(provIdx)
+	if !ok {
+		return nil, bgp.NoLink, false
+	}
+	prefix := make([]int, 0, cut)
+	for _, asn := range path[:cut] {
+		if i, ok := g.Index(asn); ok {
+			prefix = append(prefix, i)
+		}
+	}
+	return prefix, link, true
+}
+
+// asSeqIndex indexes, for pairs of ASNs seen on BGP paths, the unique
+// intermediate AS sequence between them (repair stage 3 of §IV-b). A nil
+// entry marks a conflicting pair.
+type asSeqIndex struct {
+	seqs map[[2]topo.ASN][]topo.ASN
+	conf map[[2]topo.ASN]bool
+}
+
+func newASSeqIndex(paths map[int][]topo.ASN, origin topo.ASN) *asSeqIndex {
+	idx := &asSeqIndex{
+		seqs: make(map[[2]topo.ASN][]topo.ASN),
+		conf: make(map[[2]topo.ASN]bool),
+	}
+	for _, path := range paths {
+		// Only the part before announcement stuffing is a real AS chain.
+		end := len(path)
+		for k, asn := range path {
+			if asn == origin {
+				end = k
+				break
+			}
+		}
+		p := path[:end]
+		for i := 0; i < len(p); i++ {
+			for j := i + 2; j < len(p) && j-i <= 4; j++ {
+				key := [2]topo.ASN{p[i], p[j]}
+				if idx.conf[key] {
+					continue
+				}
+				seq := p[i+1 : j]
+				if prev, ok := idx.seqs[key]; ok {
+					if !asnSeqEqual(prev, seq) {
+						idx.conf[key] = true
+						delete(idx.seqs, key)
+					}
+					continue
+				}
+				idx.seqs[key] = append([]topo.ASN(nil), seq...)
+			}
+		}
+	}
+	return idx
+}
+
+// lookup returns the unique sequence between a and b, or ok=false.
+func (idx *asSeqIndex) lookup(a, b topo.ASN) ([]topo.ASN, bool) {
+	seq, ok := idx.seqs[[2]topo.ASN{a, b}]
+	return seq, ok
+}
+
+func asnSeqEqual(a, b []topo.ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ASLevelPath maps a traceroute to an AS-level path of dense indices,
+// applying repair stages 2 and 3 of §IV-b: unmapped hops surrounded by a
+// single AS collapse into it; unmapped hops between two different ASes
+// are bridged by the unique BGP AS sequence when one exists; remaining
+// unmapped hops are dropped. Consecutive duplicate ASes collapse.
+func ASLevelPath(tr Traceroute, g *topo.Graph, mapper addr.Mapper, seqIdx *asSeqIndex) []int {
+	// First map every hop: >=0 AS index, -1 unmapped, -2 destination.
+	mapped := make([]int, len(tr.Hops))
+	for k, h := range tr.Hops {
+		switch {
+		case !h.Responsive:
+			mapped[k] = -1
+		case h.Addr == TargetAddr:
+			mapped[k] = -2
+		default:
+			if i, ok := mapper.Map(h.Addr); ok {
+				mapped[k] = i
+			} else {
+				mapped[k] = -1
+			}
+		}
+	}
+	// Collapse consecutive duplicates, keeping unmapped markers.
+	var seq []int
+	for _, v := range mapped {
+		if v == -2 {
+			break // destination reached; stuffing after is impossible
+		}
+		if len(seq) > 0 && seq[len(seq)-1] == v && v >= 0 {
+			continue
+		}
+		// Merge consecutive unmapped markers too.
+		if len(seq) > 0 && seq[len(seq)-1] == -1 && v == -1 {
+			continue
+		}
+		seq = append(seq, v)
+	}
+	// Stage 2 + 3: resolve unmapped runs using surrounding ASes.
+	var out []int
+	for i := 0; i < len(seq); i++ {
+		v := seq[i]
+		if v >= 0 {
+			if len(out) == 0 || out[len(out)-1] != v {
+				out = append(out, v)
+			}
+			continue
+		}
+		prev := -1
+		if len(out) > 0 {
+			prev = out[len(out)-1]
+		}
+		next := -1
+		if i+1 < len(seq) && seq[i+1] >= 0 {
+			next = seq[i+1]
+		}
+		switch {
+		case prev >= 0 && prev == next:
+			// Same AS on both sides: the gap is inside it; drop marker.
+		case prev >= 0 && next >= 0:
+			// Different ASes: bridge via unique BGP sequence if known.
+			if bridge, ok := seqIdx.lookup(g.ASN(prev), g.ASN(next)); ok {
+				for _, asn := range bridge {
+					if bi, ok := g.Index(asn); ok && (len(out) == 0 || out[len(out)-1] != bi) {
+						out = append(out, bi)
+					}
+				}
+			}
+			// Otherwise: drop the hop (ignored on the AS-level path).
+		default:
+			// Gap at the edges: drop.
+		}
+	}
+	return out
+}
+
+// debugString renders a traceroute for test failure messages.
+func (tr Traceroute) debugString() string {
+	var sb strings.Builder
+	for _, h := range tr.Hops {
+		if !h.Responsive {
+			sb.WriteString("* ")
+			continue
+		}
+		sb.WriteString(h.Addr.String())
+		sb.WriteByte(' ')
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package measure
+
+import (
+	"net/netip"
+	"strings"
+)
+
+// RepairUnresponsive implements the first repair stage of §IV-b: for each
+// run of unresponsive hops surrounded by responsive hops (a ... b), look
+// across all other traceroutes for responsive hop sequences observed
+// between a and b; if exactly one distinct sequence exists, substitute
+// it. Returns repaired copies; inputs are not modified.
+func RepairUnresponsive(trs []Traceroute) []Traceroute {
+	idx := buildGapIndex(trs)
+	out := make([]Traceroute, len(trs))
+	for i, tr := range trs {
+		out[i] = repairOne(tr, idx)
+	}
+	return out
+}
+
+// gapKey identifies a pair of responsive hop addresses that surround a
+// gap.
+type gapKey struct{ a, b netip.Addr }
+
+// gapIndex maps a surrounding pair to the set of distinct responsive
+// sequences observed between them. Sequences are encoded as strings for
+// set semantics; "" marks a conflicting (non-unique) entry.
+type gapIndex map[gapKey]map[string][]Hop
+
+func buildGapIndex(trs []Traceroute) gapIndex {
+	idx := make(gapIndex)
+	for _, tr := range trs {
+		hops := tr.Hops
+		for i := 0; i < len(hops); i++ {
+			if !hops[i].Responsive {
+				continue
+			}
+			// Extend a window of fully responsive hops after i.
+			for j := i + 1; j < len(hops) && j-i <= 4; j++ {
+				if !hops[j].Responsive {
+					break
+				}
+				if j-i >= 2 { // at least one intermediate hop
+					key := gapKey{hops[i].Addr, hops[j].Addr}
+					seq := hops[i+1 : j]
+					enc := encodeHops(seq)
+					m, ok := idx[key]
+					if !ok {
+						m = make(map[string][]Hop)
+						idx[key] = m
+					}
+					if _, dup := m[enc]; !dup {
+						m[enc] = append([]Hop(nil), seq...)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func encodeHops(hops []Hop) string {
+	var sb strings.Builder
+	for _, h := range hops {
+		sb.WriteString(h.Addr.String())
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+func repairOne(tr Traceroute, idx gapIndex) Traceroute {
+	hops := tr.Hops
+	var out []Hop
+	i := 0
+	for i < len(hops) {
+		h := hops[i]
+		if h.Responsive {
+			out = append(out, h)
+			i++
+			continue
+		}
+		// Start of an unresponsive run [i, j).
+		j := i
+		for j < len(hops) && !hops[j].Responsive {
+			j++
+		}
+		// Surrounded by responsive hops?
+		if len(out) > 0 && j < len(hops) {
+			key := gapKey{out[len(out)-1].Addr, hops[j].Addr}
+			if m, ok := idx[key]; ok && len(m) == 1 {
+				for _, seq := range m {
+					out = append(out, seq...)
+				}
+				i = j
+				continue
+			}
+		}
+		// No unique repair: keep the unresponsive hops as-is.
+		out = append(out, hops[i:j]...)
+		i = j
+	}
+	repaired := tr
+	repaired.Hops = out
+	return repaired
+}

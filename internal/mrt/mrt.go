@@ -1,0 +1,321 @@
+// Package mrt implements the wire formats route collectors speak: a
+// subset of the BGP-4 UPDATE message (RFC 4271, with four-octet AS
+// numbers per RFC 6793) and of the MRT BGP4MP_MESSAGE_AS4 framing
+// (RFC 6396) that RouteViews and RIPE RIS use to publish feeds.
+//
+// The paper's inference pipeline consumes AS-paths "observed on BGP
+// update messages towards PEERING prefixes collected from public feeds"
+// (§IV-b). This package lets the simulated collectors produce those
+// feeds as actual MRT byte streams and the measurement pipeline parse
+// them back, exercising the real encode/decode path.
+//
+// Scope: IPv4 unicast announcements with ORIGIN, AS_PATH (AS_SEQUENCE)
+// and NEXT_HOP attributes. Withdrawals, communities, and multiprotocol
+// attributes are out of scope for the feeds the simulation produces.
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"spooftrack/internal/topo"
+)
+
+// BGP message constants (RFC 4271).
+const (
+	bgpHeaderLen  = 19
+	bgpMaxMsgLen  = 4096
+	bgpTypeUpdate = 2
+
+	attrOrigin  = 1
+	attrASPath  = 2
+	attrNextHop = 3
+
+	asSequence = 2
+
+	originIGP = 0
+)
+
+// MRT constants (RFC 6396).
+const (
+	mrtHeaderLen         = 12
+	mrtTypeBGP4MP        = 16
+	mrtSubtypeMessageAS4 = 4
+	afiIPv4              = 1
+)
+
+// Update is one simplified BGP UPDATE: an announcement of Prefix with
+// the given AS_PATH.
+type Update struct {
+	// PeerAS is the collector peer that sent the update.
+	PeerAS topo.ASN
+	// LocalAS is the collector's AS.
+	LocalAS topo.ASN
+	// Timestamp is the MRT capture time (seconds since epoch).
+	Timestamp uint32
+	// Path is the AS_PATH as a single AS_SEQUENCE.
+	Path []topo.ASN
+	// NextHop is the announced next hop.
+	NextHop netip.Addr
+	// Prefix is the announced NLRI.
+	Prefix netip.Prefix
+}
+
+var bgpMarker = func() [16]byte {
+	var m [16]byte
+	for i := range m {
+		m[i] = 0xff
+	}
+	return m
+}()
+
+// marshalBGPUpdate encodes the BGP UPDATE message body (RFC 4271 §4.3)
+// with four-octet ASNs in AS_PATH.
+func marshalBGPUpdate(u *Update) ([]byte, error) {
+	if len(u.Path) == 0 {
+		return nil, fmt.Errorf("mrt: empty AS path")
+	}
+	if len(u.Path) > 255 {
+		return nil, fmt.Errorf("mrt: AS path longer than 255 segments")
+	}
+	if !u.NextHop.Is4() {
+		return nil, fmt.Errorf("mrt: next hop %v is not IPv4", u.NextHop)
+	}
+	if !u.Prefix.Addr().Is4() {
+		return nil, fmt.Errorf("mrt: prefix %v is not IPv4", u.Prefix)
+	}
+
+	// Path attributes.
+	var attrs []byte
+	// ORIGIN: flags 0x40 (well-known transitive), len 1.
+	attrs = append(attrs, 0x40, attrOrigin, 1, originIGP)
+	// AS_PATH: one AS_SEQUENCE segment of 4-byte ASNs.
+	pathLen := 2 + 4*len(u.Path)
+	if pathLen > 255 {
+		// Extended length attribute.
+		attrs = append(attrs, 0x50, attrASPath, byte(pathLen>>8), byte(pathLen))
+	} else {
+		attrs = append(attrs, 0x40, attrASPath, byte(pathLen))
+	}
+	attrs = append(attrs, asSequence, byte(len(u.Path)))
+	for _, asn := range u.Path {
+		attrs = binary.BigEndian.AppendUint32(attrs, uint32(asn))
+	}
+	// NEXT_HOP.
+	nh := u.NextHop.As4()
+	attrs = append(attrs, 0x40, attrNextHop, 4)
+	attrs = append(attrs, nh[:]...)
+
+	// NLRI: one prefix.
+	bits := u.Prefix.Bits()
+	nBytes := (bits + 7) / 8
+	addr := u.Prefix.Addr().As4()
+	nlri := append([]byte{byte(bits)}, addr[:nBytes]...)
+
+	body := make([]byte, 0, 4+len(attrs)+len(nlri))
+	body = append(body, 0, 0) // withdrawn routes length
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+	body = append(body, attrs...)
+	body = append(body, nlri...)
+
+	msgLen := bgpHeaderLen + len(body)
+	if msgLen > bgpMaxMsgLen {
+		return nil, fmt.Errorf("mrt: UPDATE of %d bytes exceeds maximum", msgLen)
+	}
+	msg := make([]byte, 0, msgLen)
+	msg = append(msg, bgpMarker[:]...)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(msgLen))
+	msg = append(msg, bgpTypeUpdate)
+	msg = append(msg, body...)
+	return msg, nil
+}
+
+// parseBGPUpdate decodes an UPDATE message produced by marshalBGPUpdate
+// (and, more generally, any IPv4-unicast announcement using 4-octet
+// AS_PATH encoding).
+func parseBGPUpdate(msg []byte) (path []topo.ASN, prefix netip.Prefix, err error) {
+	if len(msg) < bgpHeaderLen {
+		return nil, prefix, fmt.Errorf("mrt: BGP message too short")
+	}
+	for i := 0; i < 16; i++ {
+		if msg[i] != 0xff {
+			return nil, prefix, fmt.Errorf("mrt: bad BGP marker")
+		}
+	}
+	if int(binary.BigEndian.Uint16(msg[16:])) != len(msg) {
+		return nil, prefix, fmt.Errorf("mrt: BGP length mismatch")
+	}
+	if msg[18] != bgpTypeUpdate {
+		return nil, prefix, fmt.Errorf("mrt: not an UPDATE (type %d)", msg[18])
+	}
+	body := msg[bgpHeaderLen:]
+	if len(body) < 4 {
+		return nil, prefix, fmt.Errorf("mrt: truncated UPDATE body")
+	}
+	withdrawn := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+withdrawn+2 {
+		return nil, prefix, fmt.Errorf("mrt: truncated withdrawn routes")
+	}
+	attrLen := int(binary.BigEndian.Uint16(body[2+withdrawn:]))
+	attrStart := 4 + withdrawn
+	if len(body) < attrStart+attrLen {
+		return nil, prefix, fmt.Errorf("mrt: truncated path attributes")
+	}
+	attrs := body[attrStart : attrStart+attrLen]
+	nlri := body[attrStart+attrLen:]
+
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return nil, prefix, fmt.Errorf("mrt: truncated attribute header")
+		}
+		flags, code := attrs[0], attrs[1]
+		var alen, hdr int
+		if flags&0x10 != 0 { // extended length
+			if len(attrs) < 4 {
+				return nil, prefix, fmt.Errorf("mrt: truncated extended attribute")
+			}
+			alen = int(binary.BigEndian.Uint16(attrs[2:]))
+			hdr = 4
+		} else {
+			alen = int(attrs[2])
+			hdr = 3
+		}
+		if len(attrs) < hdr+alen {
+			return nil, prefix, fmt.Errorf("mrt: attribute overruns message")
+		}
+		val := attrs[hdr : hdr+alen]
+		if code == attrASPath {
+			p, err := parseASPath(val)
+			if err != nil {
+				return nil, prefix, err
+			}
+			path = p
+		}
+		attrs = attrs[hdr+alen:]
+	}
+	if path == nil {
+		return nil, prefix, fmt.Errorf("mrt: UPDATE has no AS_PATH")
+	}
+
+	if len(nlri) < 1 {
+		return nil, prefix, fmt.Errorf("mrt: UPDATE has no NLRI")
+	}
+	bits := int(nlri[0])
+	nBytes := (bits + 7) / 8
+	if bits > 32 || len(nlri) < 1+nBytes {
+		return nil, prefix, fmt.Errorf("mrt: bad NLRI")
+	}
+	var addr [4]byte
+	copy(addr[:], nlri[1:1+nBytes])
+	prefix = netip.PrefixFrom(netip.AddrFrom4(addr), bits)
+	return path, prefix, nil
+}
+
+func parseASPath(val []byte) ([]topo.ASN, error) {
+	var path []topo.ASN
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return nil, fmt.Errorf("mrt: truncated AS_PATH segment")
+		}
+		segType, n := val[0], int(val[1])
+		if segType != asSequence {
+			return nil, fmt.Errorf("mrt: unsupported AS_PATH segment type %d", segType)
+		}
+		if len(val) < 2+4*n {
+			return nil, fmt.Errorf("mrt: truncated AS_PATH")
+		}
+		for i := 0; i < n; i++ {
+			path = append(path, topo.ASN(binary.BigEndian.Uint32(val[2+4*i:])))
+		}
+		val = val[2+4*n:]
+	}
+	return path, nil
+}
+
+// WriteUpdate frames the update as one MRT BGP4MP_MESSAGE_AS4 record
+// and writes it to w.
+func WriteUpdate(w io.Writer, u *Update) error {
+	bgpMsg, err := marshalBGPUpdate(u)
+	if err != nil {
+		return err
+	}
+	// BGP4MP_MESSAGE_AS4 body: peer AS(4) local AS(4) ifindex(2) afi(2)
+	// peer IP(4) local IP(4) then the BGP message.
+	body := make([]byte, 0, 20+len(bgpMsg))
+	body = binary.BigEndian.AppendUint32(body, uint32(u.PeerAS))
+	body = binary.BigEndian.AppendUint32(body, uint32(u.LocalAS))
+	body = binary.BigEndian.AppendUint16(body, 0) // interface index
+	body = binary.BigEndian.AppendUint16(body, afiIPv4)
+	body = append(body, 0, 0, 0, 0) // peer IP (unused in simulation)
+	body = append(body, 0, 0, 0, 0) // local IP
+	body = append(body, bgpMsg...)
+
+	hdr := make([]byte, 0, mrtHeaderLen)
+	hdr = binary.BigEndian.AppendUint32(hdr, u.Timestamp)
+	hdr = binary.BigEndian.AppendUint16(hdr, mrtTypeBGP4MP)
+	hdr = binary.BigEndian.AppendUint16(hdr, mrtSubtypeMessageAS4)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadUpdate reads one MRT record. It returns io.EOF at a clean end of
+// stream.
+func ReadUpdate(r io.Reader) (*Update, error) {
+	hdr := make([]byte, mrtHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("mrt: reading header: %w", err)
+	}
+	ts := binary.BigEndian.Uint32(hdr[0:])
+	typ := binary.BigEndian.Uint16(hdr[4:])
+	sub := binary.BigEndian.Uint16(hdr[6:])
+	blen := int(binary.BigEndian.Uint32(hdr[8:]))
+	if typ != mrtTypeBGP4MP || sub != mrtSubtypeMessageAS4 {
+		return nil, fmt.Errorf("mrt: unsupported record type %d/%d", typ, sub)
+	}
+	if blen < 20 || blen > 1<<20 {
+		return nil, fmt.Errorf("mrt: implausible record length %d", blen)
+	}
+	body := make([]byte, blen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("mrt: reading body: %w", err)
+	}
+	u := &Update{
+		Timestamp: ts,
+		PeerAS:    topo.ASN(binary.BigEndian.Uint32(body[0:])),
+		LocalAS:   topo.ASN(binary.BigEndian.Uint32(body[4:])),
+	}
+	if afi := binary.BigEndian.Uint16(body[10:]); afi != afiIPv4 {
+		return nil, fmt.Errorf("mrt: unsupported AFI %d", afi)
+	}
+	path, prefix, err := parseBGPUpdate(body[20:])
+	if err != nil {
+		return nil, err
+	}
+	u.Path = path
+	u.Prefix = prefix
+	return u, nil
+}
+
+// ReadAll parses a whole MRT stream.
+func ReadAll(r io.Reader) ([]*Update, error) {
+	var out []*Update
+	for {
+		u, err := ReadUpdate(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+}

@@ -1,0 +1,271 @@
+// Package peering models the origin-AS side of the experiment: a
+// PEERING-like research platform (Schlinker et al., CoNEXT 2019) with
+// multiple points-of-presence, each connected to one transit provider
+// (the paper's Table I), an announcement controller enforcing the
+// platform's operational constraints, and a simulated clock accounting
+// for BGP convergence and catchment measurement delay (70 minutes per
+// configuration in the paper, §IV-b).
+package peering
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/topo"
+)
+
+// PEERINGASN is the platform's AS number, used as the origin ASN and as
+// the sentinel wrapped around poisoned ASes (§IV-e).
+const PEERINGASN topo.ASN = 47065
+
+// MuxSpec names one PEERING point-of-presence and its transit provider,
+// as in the paper's Table I.
+type MuxSpec struct {
+	Name         string
+	ProviderName string
+	ProviderASN  topo.ASN
+}
+
+// TableI lists the seven PoPs and providers the paper's experiments used.
+var TableI = []MuxSpec{
+	{Name: "AMS-IX", ProviderName: "Bit BV", ProviderASN: 12859},
+	{Name: "GRNet", ProviderName: "GRNet", ProviderASN: 5408},
+	{Name: "USC/ISI", ProviderName: "Los Nettos", ProviderASN: 226},
+	{Name: "NEU", ProviderName: "Northeastern University", ProviderASN: 156},
+	{Name: "Seattle-IX", ProviderName: "RGnet", ProviderASN: 3130},
+	{Name: "UFMG", ProviderName: "RNP", ProviderASN: 1916},
+	{Name: "UW", ProviderName: "Pacific Northwest GigaPoP", ProviderASN: 101},
+}
+
+// Mux is one deployed point-of-presence: a Table-I label bound to a
+// provider AS in the topology.
+type Mux struct {
+	Spec MuxSpec
+	// Provider is the dense topo index of the transit provider this mux
+	// announces through.
+	Provider int
+}
+
+// Constraints are the platform's per-announcement operational limits.
+type Constraints struct {
+	// MaxPoison is the maximum number of ASes poisoned on a single
+	// announcement (PEERING conservatively allows 2, §IV-e).
+	MaxPoison int
+	// MaxPrepend bounds AS-path prepending per announcement.
+	MaxPrepend int
+	// ConfigDuration is how long each configuration stays active to
+	// cover convergence plus three rounds of traceroutes (70 min, §IV-b).
+	ConfigDuration time.Duration
+}
+
+// DefaultConstraints returns the limits the paper operated under.
+func DefaultConstraints() Constraints {
+	return Constraints{
+		MaxPoison:      2,
+		MaxPrepend:     4,
+		ConfigDuration: 70 * time.Minute,
+	}
+}
+
+// Platform is the origin AS with its muxes, constraint checking, and the
+// simulated experiment clock. It wraps a bgp.Engine: Deploy validates a
+// configuration, charges clock time, and propagates it.
+type Platform struct {
+	muxes       []Mux
+	constraints Constraints
+	engine      *bgp.Engine
+
+	elapsed  time.Duration
+	deployed int
+	history  []bgp.Config
+}
+
+// Options configures platform construction.
+type Options struct {
+	// Muxes to deploy; defaults to TableI.
+	Muxes []MuxSpec
+	// Constraints default to DefaultConstraints.
+	Constraints *Constraints
+	// EngineParams configures the routing engine realism knobs.
+	EngineParams bgp.Params
+}
+
+// New builds a platform over the topology, binding each mux to a transit
+// provider. Providers are chosen deterministically: the highest-customer-
+// degree non-tier-1 transit ASes, greedily spread so no two muxes share a
+// provider and pairwise AS-hop distance is maximized — mirroring
+// PEERING's geographically dispersed PoPs.
+func New(g *topo.Graph, opts Options) (*Platform, error) {
+	specs := opts.Muxes
+	if specs == nil {
+		specs = TableI
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("peering: no muxes requested")
+	}
+	cons := DefaultConstraints()
+	if opts.Constraints != nil {
+		cons = *opts.Constraints
+	}
+	providers, err := chooseProviders(g, len(specs))
+	if err != nil {
+		return nil, err
+	}
+	muxes := make([]Mux, len(specs))
+	links := make([]bgp.Link, len(specs))
+	for i, spec := range specs {
+		muxes[i] = Mux{Spec: spec, Provider: providers[i]}
+		links[i] = bgp.Link{Name: spec.Name, Provider: providers[i]}
+	}
+	engine, err := bgp.NewEngine(g, bgp.Origin{ASN: PEERINGASN, Links: links}, opts.EngineParams)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{muxes: muxes, constraints: cons, engine: engine}, nil
+}
+
+// chooseProviders picks n distinct non-tier-1 transit ASes: the 4n
+// largest by customer count, then a greedy max-min-distance subset.
+func chooseProviders(g *topo.Graph, n int) ([]int, error) {
+	transit := g.TransitASes()
+	var cands []int
+	for _, i := range transit {
+		if !g.IsTier1(i) {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) < n {
+		return nil, fmt.Errorf("peering: topology has only %d candidate providers, need %d", len(cands), n)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := len(g.Customers(cands[a])), len(g.Customers(cands[b]))
+		if ca != cb {
+			return ca > cb
+		}
+		return cands[a] < cands[b]
+	})
+	pool := cands
+	if len(pool) > 4*n {
+		pool = pool[:4*n]
+	}
+	// Greedy farthest-point selection over AS-hop distance.
+	chosen := []int{pool[0]}
+	dist := g.HopDistances([]int{pool[0]})
+	for len(chosen) < n {
+		best, bestD := -1, -1
+		for _, c := range pool {
+			if containsInt(chosen, c) {
+				continue
+			}
+			if dist[c] > bestD {
+				best, bestD = c, dist[c]
+			}
+		}
+		chosen = append(chosen, best)
+		nd := g.HopDistances([]int{best})
+		for i := range dist {
+			if nd[i] < dist[i] {
+				dist[i] = nd[i]
+			}
+		}
+	}
+	return chosen, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Engine exposes the underlying routing engine (read-only use).
+func (p *Platform) Engine() *bgp.Engine { return p.engine }
+
+// Constraints returns the platform's operational limits.
+func (p *Platform) Constraints() Constraints { return p.constraints }
+
+// Graph returns the topology the platform is attached to.
+func (p *Platform) Graph() *topo.Graph { return p.engine.Graph() }
+
+// Muxes returns the deployed muxes.
+func (p *Platform) Muxes() []Mux { return p.muxes }
+
+// NumLinks returns the number of peering links (muxes).
+func (p *Platform) NumLinks() int { return len(p.muxes) }
+
+// LinkByProvider maps a provider ASN to its peering link.
+func (p *Platform) LinkByProvider(asn topo.ASN) (bgp.LinkID, bool) {
+	for i, m := range p.muxes {
+		if p.Graph().ASN(m.Provider) == asn {
+			return bgp.LinkID(i), true
+		}
+	}
+	return bgp.NoLink, false
+}
+
+// ProviderNeighbors returns, for each mux, the dense indices of the
+// provider's neighbors excluding the origin itself — the poisoning
+// targets of the paper's third technique (§III-A-c): ASes one hop behind
+// a directly connected provider.
+func (p *Platform) ProviderNeighbors() map[bgp.LinkID][]int {
+	g := p.Graph()
+	out := make(map[bgp.LinkID][]int, len(p.muxes))
+	for l, m := range p.muxes {
+		var ns []int
+		for _, nb := range g.Neighbors(m.Provider) {
+			ns = append(ns, nb.Idx)
+		}
+		out[bgp.LinkID(l)] = ns
+	}
+	return out
+}
+
+// CheckConstraints validates a configuration against the platform limits
+// without deploying it.
+func (p *Platform) CheckConstraints(cfg bgp.Config) error {
+	if err := cfg.Validate(p.engine.Origin()); err != nil {
+		return err
+	}
+	for _, a := range cfg.Anns {
+		if len(a.Poison) > p.constraints.MaxPoison {
+			return fmt.Errorf("peering: announcement on %s poisons %d ASes, platform limit is %d",
+				p.muxes[a.Link].Spec.Name, len(a.Poison), p.constraints.MaxPoison)
+		}
+		if a.Prepend > p.constraints.MaxPrepend {
+			return fmt.Errorf("peering: announcement on %s prepends %d times, platform limit is %d",
+				p.muxes[a.Link].Spec.Name, a.Prepend, p.constraints.MaxPrepend)
+		}
+	}
+	return nil
+}
+
+// Deploy validates the configuration, advances the simulated clock by the
+// configuration duration, and returns the converged routing outcome.
+func (p *Platform) Deploy(cfg bgp.Config) (*bgp.Outcome, error) {
+	if err := p.CheckConstraints(cfg); err != nil {
+		return nil, err
+	}
+	out, err := p.engine.Propagate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.elapsed += p.constraints.ConfigDuration
+	p.deployed++
+	p.history = append(p.history, cfg)
+	return out, nil
+}
+
+// Elapsed returns the simulated wall-clock time spent deploying
+// configurations so far.
+func (p *Platform) Elapsed() time.Duration { return p.elapsed }
+
+// Deployed returns how many configurations have been deployed.
+func (p *Platform) Deployed() int { return p.deployed }
+
+// History returns the configurations deployed so far, in order.
+func (p *Platform) History() []bgp.Config { return p.history }

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"sort"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/cluster"
+	"spooftrack/internal/topo"
+)
+
+// Predictor estimates catchments without deploying announcements, using
+// a textbook Gao-Rexford model of the topology (no policy noise, no
+// loop-prevention quirks). §V-C observes that most ASes follow the
+// best-relationship + shortest-path model (Fig. 9), so such a predictor
+// can pre-rank configurations and reduce measurement load.
+type Predictor struct {
+	engine *bgp.Engine
+}
+
+// NewPredictor builds a predictor for the origin over the graph.
+func NewPredictor(g *topo.Graph, origin bgp.Origin) (*Predictor, error) {
+	// A fixed seed keeps tiebreaks deterministic; with zero noise the
+	// seed only affects equal-length tie-breaking.
+	eng, err := bgp.NewEngine(g, origin, bgp.Params{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{engine: eng}, nil
+}
+
+// Predict returns the predicted catchment vector for a configuration.
+func (p *Predictor) Predict(cfg bgp.Config) ([]bgp.LinkID, error) {
+	out, err := p.engine.Propagate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return out.CatchmentVector(), nil
+}
+
+// RankByPredictedGain orders the candidate configurations by how many
+// clusters the predictor expects each to produce when refining the
+// current partition restricted to the given sources (descending gain).
+// Configurations predicted to provide no additional information sort
+// last, matching §V-C's proposal to postpone them.
+func (p *Predictor) RankByPredictedGain(part *cluster.Partition, sources []int, cands []bgp.Config) ([]int, error) {
+	type scored struct {
+		idx  int
+		gain int
+	}
+	scoredList := make([]scored, len(cands))
+	for i, cfg := range cands {
+		vec, err := p.Predict(cfg)
+		if err != nil {
+			return nil, err
+		}
+		labels := make([]bgp.LinkID, len(sources))
+		for k, src := range sources {
+			labels[k] = vec[src]
+		}
+		scoredList[i] = scored{idx: i, gain: part.NumClustersAfter(labels)}
+	}
+	sort.SliceStable(scoredList, func(a, b int) bool { return scoredList[a].gain > scoredList[b].gain })
+	order := make([]int, len(cands))
+	for i, s := range scoredList {
+		order[i] = s.idx
+	}
+	return order, nil
+}
+
+// TargetedPoisonPlan implements the paper's future-work idea of
+// poisoning distant ASes to split large clusters (§V-B): for every
+// cluster of at least minClusterSize sources, find the transit AS most
+// shared by the members' data paths (excluding the members themselves
+// and the direct providers) and generate a configuration announcing from
+// all links while poisoning it on the members' current ingress link.
+func TargetedPoisonPlan(out *bgp.Outcome, part *cluster.Partition, sources []int, minClusterSize, numLinks int) []PlannedConfig {
+	g := out.Graph()
+	memberSets := part.Members()
+	var plan []PlannedConfig
+	seen := make(map[string]bool)
+	for _, members := range memberSets {
+		if len(members) < minClusterSize {
+			continue
+		}
+		// Count upstream transit ASes across member paths. A shared
+		// upstream splits the cluster when only part of the members
+		// route through it, so any intermediate hop is a candidate —
+		// including ones that are themselves members.
+		counts := make(map[int]int)
+		linkVotes := make(map[bgp.LinkID]int)
+		for _, k := range members {
+			src := sources[k]
+			dp := out.DataPath(src)
+			if dp == nil {
+				continue
+			}
+			linkVotes[out.CatchmentOf(src)]++
+			// Skip the source itself and the final provider hop.
+			for h := 1; h < len(dp)-1; h++ {
+				counts[dp[h]]++
+			}
+		}
+		target, best := -1, 0
+		for as, c := range counts {
+			if c > best || (c == best && (target == -1 || as < target)) {
+				target, best = as, c
+			}
+		}
+		link, bestVotes := bgp.NoLink, 0
+		for l, v := range linkVotes {
+			if v > bestVotes || (v == bestVotes && l < link) {
+				link, bestVotes = l, v
+			}
+		}
+		if target == -1 || link == bgp.NoLink {
+			continue
+		}
+		all := make([]bgp.LinkID, numLinks)
+		for i := range all {
+			all[i] = bgp.LinkID(i)
+		}
+		cfg := configFromLinks(all, nil, 0)
+		for i := range cfg.Anns {
+			if cfg.Anns[i].Link == link {
+				cfg.Anns[i].Poison = []topo.ASN{g.ASN(target)}
+			}
+		}
+		key := cfg.String()
+		if !seen[key] {
+			seen[key] = true
+			plan = append(plan, PlannedConfig{Config: cfg, Phase: PhasePoisoning})
+		}
+	}
+	return plan
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"testing"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/cluster"
+	"spooftrack/internal/topo"
+)
+
+// targetedWorld builds a world where a known set of sources shares a
+// common upstream, so TargetedPoisonPlan has a natural target.
+func targetedWorld(t *testing.T) (*topo.Graph, *bgp.Engine, *bgp.Outcome, []int) {
+	t.Helper()
+	p := topo.DefaultGenParams(52)
+	p.NumASes = 600
+	g, err := topo.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var provs []int
+	for _, i := range g.TransitASes() {
+		if !g.IsTier1(i) {
+			provs = append(provs, i)
+		}
+		if len(provs) == 3 {
+			break
+		}
+	}
+	origin := bgp.Origin{ASN: 47065, Links: []bgp.Link{
+		{Name: "a", Provider: provs[0]},
+		{Name: "b", Provider: provs[1]},
+		{Name: "c", Provider: provs[2]},
+	}}
+	e, err := bgp.NewEngine(g, origin, bgp.Params{Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Propagate(bgp.Config{Anns: []bgp.Announcement{{Link: 0}, {Link: 1}, {Link: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]int, g.NumASes())
+	for i := range sources {
+		sources[i] = i
+	}
+	return g, e, out, sources
+}
+
+func TestTargetedPoisonPlanShape(t *testing.T) {
+	g, _, out, sources := targetedWorld(t)
+	// One big cluster: everything. The plan must target the transit AS
+	// most shared by members' paths.
+	part := cluster.New(len(sources))
+	plan := TargetedPoisonPlan(out, part, sources, 10, 3)
+	if len(plan) != 1 {
+		t.Fatalf("got %d configs for one cluster, want 1", len(plan))
+	}
+	cfg := plan[0].Config
+	if len(cfg.Anns) != 3 {
+		t.Fatal("targeted config must announce from all links")
+	}
+	poisons := 0
+	for _, a := range cfg.Anns {
+		for _, p := range a.Poison {
+			poisons++
+			if _, ok := g.Index(p); !ok {
+				t.Fatalf("poison target AS%d not in graph", p)
+			}
+		}
+	}
+	if poisons != 1 {
+		t.Fatalf("%d poisons, want 1", poisons)
+	}
+	if plan[0].Phase != PhasePoisoning {
+		t.Fatal("wrong phase")
+	}
+}
+
+func TestTargetedPoisonPlanSkipsSmallClusters(t *testing.T) {
+	_, _, out, sources := targetedWorld(t)
+	part := cluster.New(len(sources))
+	// Threshold above the universe size: nothing to target.
+	plan := TargetedPoisonPlan(out, part, sources, len(sources)+1, 3)
+	if len(plan) != 0 {
+		t.Fatalf("got %d configs, want 0", len(plan))
+	}
+}
+
+func TestTargetedPoisonPlanDeduplicates(t *testing.T) {
+	_, _, out, sources := targetedWorld(t)
+	// Two clusters that will resolve to the same (link, target) must
+	// produce a single configuration. Split the universe in half
+	// arbitrarily; both halves share upstream structure.
+	part := cluster.New(len(sources))
+	labels := make([]bgp.LinkID, len(sources))
+	for i := range labels {
+		labels[i] = bgp.LinkID(i % 2)
+	}
+	part.Refine(labels)
+	plan := TargetedPoisonPlan(out, part, sources, 10, 3)
+	seen := map[string]bool{}
+	for _, pc := range plan {
+		key := pc.Config.String()
+		if seen[key] {
+			t.Fatal("duplicate targeted configuration")
+		}
+		seen[key] = true
+	}
+}

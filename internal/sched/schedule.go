@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"fmt"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/cluster"
+	"spooftrack/internal/stats"
+)
+
+// A schedule operates on precomputed catchment measurements: when
+// localizing during an attack, the origin deploys configurations whose
+// catchments it measured beforehand and assumes routes are stable
+// (§V-C). catchments[c][k] is the catchment of source k under
+// configuration c.
+
+// Trajectory is the mean cluster size after each deployed configuration.
+type Trajectory []float64
+
+// RandomTrajectory deploys the configurations in a random order (without
+// repetition) and reports the mean cluster size after each step.
+func RandomTrajectory(catchments [][]bgp.LinkID, rng *stats.RNG) Trajectory {
+	if len(catchments) == 0 {
+		return nil
+	}
+	n := len(catchments[0])
+	order := rng.Perm(len(catchments))
+	p := cluster.New(n)
+	out := make(Trajectory, 0, len(catchments))
+	for _, c := range order {
+		p.Refine(catchments[c])
+		out = append(out, p.Summarize().MeanSize)
+	}
+	return out
+}
+
+// RandomEnsemble runs nSeq random trajectories and reports, per step,
+// the 25th percentile, median, and 75th percentile of the mean cluster
+// size across sequences (the paper's Fig. 8 shades variance over 30,000
+// sequences).
+func RandomEnsemble(catchments [][]bgp.LinkID, nSeq int, seed uint64) (p25, median, p75 Trajectory) {
+	if len(catchments) == 0 || nSeq <= 0 {
+		return nil, nil, nil
+	}
+	steps := len(catchments)
+	perStep := make([][]float64, steps)
+	for i := range perStep {
+		perStep[i] = make([]float64, 0, nSeq)
+	}
+	rng := stats.NewRNG(seed ^ 0x5eed5c4ed)
+	for s := 0; s < nSeq; s++ {
+		tr := RandomTrajectory(catchments, rng.Split())
+		for i, v := range tr {
+			perStep[i] = append(perStep[i], v)
+		}
+	}
+	p25 = make(Trajectory, steps)
+	median = make(Trajectory, steps)
+	p75 = make(Trajectory, steps)
+	for i := range perStep {
+		p25[i] = stats.Percentile(perStep[i], 25)
+		median[i] = stats.Percentile(perStep[i], 50)
+		p75[i] = stats.Percentile(perStep[i], 75)
+	}
+	return p25, median, p75
+}
+
+// GreedyTrajectory deploys, at every step, the not-yet-deployed
+// configuration that minimizes the resulting mean cluster size (§V-C's
+// "iterative algorithm"). maxSteps bounds the trajectory length (the
+// interesting region is the first tens of configurations); pass 0 for
+// all configurations. It returns the trajectory and the chosen
+// deployment order.
+func GreedyTrajectory(catchments [][]bgp.LinkID, maxSteps int) (Trajectory, []int) {
+	if len(catchments) == 0 {
+		return nil, nil
+	}
+	n := len(catchments[0])
+	steps := len(catchments)
+	if maxSteps > 0 && maxSteps < steps {
+		steps = maxSteps
+	}
+	used := make([]bool, len(catchments))
+	p := cluster.New(n)
+	traj := make(Trajectory, 0, steps)
+	order := make([]int, 0, steps)
+	for len(order) < steps {
+		best, bestClusters := -1, -1
+		for c := range catchments {
+			if used[c] {
+				continue
+			}
+			k := p.NumClustersAfter(catchments[c])
+			if k > bestClusters || (k == bestClusters && (best == -1 || c < best)) {
+				best, bestClusters = c, k
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		p.Refine(catchments[best])
+		order = append(order, best)
+		traj = append(traj, p.Summarize().MeanSize)
+	}
+	return traj, order
+}
+
+// GreedyVolumeTrajectory implements the paper's future-work extension
+// (§VIII-(i)): jointly optimize cluster size and spoofed traffic volume
+// by choosing the configuration that minimizes the volume-weighted mean
+// cluster size — splitting clusters inferred to send more spoofed
+// traffic first. volume[k] is the spoofed-traffic weight of source k.
+func GreedyVolumeTrajectory(catchments [][]bgp.LinkID, volume []float64, maxSteps int) (Trajectory, []int) {
+	if len(catchments) == 0 {
+		return nil, nil
+	}
+	n := len(catchments[0])
+	if len(volume) != n {
+		panic(fmt.Sprintf("sched: %d volumes for %d sources", len(volume), n))
+	}
+	steps := len(catchments)
+	if maxSteps > 0 && maxSteps < steps {
+		steps = maxSteps
+	}
+	used := make([]bool, len(catchments))
+	p := cluster.New(n)
+	traj := make(Trajectory, 0, steps)
+	order := make([]int, 0, steps)
+	for len(order) < steps {
+		best := -1
+		bestScore := 0.0
+		for c := range catchments {
+			if used[c] {
+				continue
+			}
+			score := volumeWeightedMeanSize(p.RefinedCopy(catchments[c]), volume)
+			if best == -1 || score < bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		p.Refine(catchments[best])
+		order = append(order, best)
+		traj = append(traj, volumeWeightedMeanSize(p, volume))
+	}
+	return traj, order
+}
+
+// volumeWeightedMeanSize is the expected size of the cluster a unit of
+// spoofed traffic falls into: sum over sources of volume-share times
+// cluster size.
+func volumeWeightedMeanSize(p *cluster.Partition, volume []float64) float64 {
+	sizes := p.Sizes()
+	total, acc := 0.0, 0.0
+	for k, v := range volume {
+		total += v
+		acc += v * float64(sizes[p.ClusterOf(k)])
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / total
+}
+
+// FullTrajectory deploys configurations in plan order and reports mean
+// and 90th-percentile cluster size after each (Fig. 4's two lines).
+func FullTrajectory(catchments [][]bgp.LinkID) (mean, p90 Trajectory) {
+	if len(catchments) == 0 {
+		return nil, nil
+	}
+	p := cluster.New(len(catchments[0]))
+	mean = make(Trajectory, 0, len(catchments))
+	p90 = make(Trajectory, 0, len(catchments))
+	for _, c := range catchments {
+		p.Refine(c)
+		m := p.Summarize()
+		mean = append(mean, m.MeanSize)
+		p90 = append(p90, m.P90Size)
+	}
+	return mean, p90
+}

@@ -1,0 +1,191 @@
+package spoof
+
+import (
+	"fmt"
+	"net/netip"
+
+	"spooftrack/internal/addr"
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/stats"
+)
+
+// This file implements the paper's second volume-estimation approach
+// (§III-C): instead of a honeypot, "infer legitimate sources for each
+// peering link and label all traffic received from other sources as
+// spoofed" (Lichtblau et al., IMC 2017). The legitimate sources of link
+// l are exactly its catchment: a packet whose (claimed) source address
+// belongs to an AS in another link's catchment cannot have arrived on l
+// legitimately.
+
+// Verdict is a classification outcome.
+type Verdict int
+
+const (
+	// VerdictLegit means the claimed source is consistent with the
+	// ingress link.
+	VerdictLegit Verdict = iota
+	// VerdictSpoofed means the claimed source belongs to a different
+	// link's catchment.
+	VerdictSpoofed
+	// VerdictUnknown means the source address cannot be mapped or its
+	// AS has no known catchment.
+	VerdictUnknown
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictLegit:
+		return "legit"
+	case VerdictSpoofed:
+		return "spoofed"
+	case VerdictUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Classifier labels ingress traffic using a configuration's catchments.
+type Classifier struct {
+	// catchment[i] is the expected ingress link of the AS at dense
+	// topology index i.
+	catchment []bgp.LinkID
+	mapper    addr.Mapper
+}
+
+// NewClassifier builds a classifier from a per-AS catchment vector
+// (dense topology indexing, as produced by bgp.Outcome.CatchmentVector
+// or measured inference) and an IP-to-AS mapper.
+func NewClassifier(catchment []bgp.LinkID, mapper addr.Mapper) *Classifier {
+	return &Classifier{catchment: catchment, mapper: mapper}
+}
+
+// Classify labels one packet by its claimed source address and ingress
+// link.
+func (c *Classifier) Classify(src netip.Addr, ingress bgp.LinkID) Verdict {
+	as, ok := c.mapper.Map(src)
+	if !ok || as >= len(c.catchment) {
+		return VerdictUnknown
+	}
+	expected := c.catchment[as]
+	if expected == bgp.NoLink {
+		return VerdictUnknown
+	}
+	if expected == ingress {
+		return VerdictLegit
+	}
+	return VerdictSpoofed
+}
+
+// FlowSample is one observed packet for classifier evaluation.
+type FlowSample struct {
+	// Src is the (possibly forged) source address.
+	Src netip.Addr
+	// Ingress is the peering link the packet arrived on.
+	Ingress bgp.LinkID
+	// Spoofed is the ground truth.
+	Spoofed bool
+}
+
+// TrafficParams configures synthetic mixed traffic generation.
+type TrafficParams struct {
+	// NumLegit and NumSpoofed are the flow counts to generate.
+	NumLegit, NumSpoofed int
+	// AttackerAS is the dense index of the AS originating spoofed
+	// flows; its packets enter on its own catchment link but claim
+	// other networks' addresses.
+	AttackerAS int
+}
+
+// GenerateTraffic synthesizes a classifier evaluation workload against
+// the true catchments: legitimate flows from random routed ASes arriving
+// on their catchment links, plus spoofed flows from the attacker AS
+// claiming random other ASes' addresses.
+func GenerateTraffic(rng *stats.RNG, catchment []bgp.LinkID, space *addr.Space, p TrafficParams) ([]FlowSample, error) {
+	var routed []int
+	for i, l := range catchment {
+		if l != bgp.NoLink {
+			routed = append(routed, i)
+		}
+	}
+	if len(routed) == 0 {
+		return nil, fmt.Errorf("spoof: no routed ASes to generate traffic from")
+	}
+	if p.AttackerAS < 0 || p.AttackerAS >= len(catchment) || catchment[p.AttackerAS] == bgp.NoLink {
+		return nil, fmt.Errorf("spoof: attacker AS %d has no route", p.AttackerAS)
+	}
+	flows := make([]FlowSample, 0, p.NumLegit+p.NumSpoofed)
+	for k := 0; k < p.NumLegit; k++ {
+		as := routed[rng.Intn(len(routed))]
+		flows = append(flows, FlowSample{
+			Src:     space.HostAddr(as, k),
+			Ingress: catchment[as],
+			Spoofed: false,
+		})
+	}
+	attackerLink := catchment[p.AttackerAS]
+	for k := 0; k < p.NumSpoofed; k++ {
+		claimed := routed[rng.Intn(len(routed))]
+		flows = append(flows, FlowSample{
+			Src:     space.HostAddr(claimed, k),
+			Ingress: attackerLink,
+			Spoofed: true,
+		})
+	}
+	rng.Shuffle(len(flows), func(i, j int) { flows[i], flows[j] = flows[j], flows[i] })
+	return flows, nil
+}
+
+// ClassifierReport aggregates evaluation counts.
+type ClassifierReport struct {
+	TruePositives  int // spoofed flows labeled spoofed
+	FalsePositives int // legitimate flows labeled spoofed
+	TrueNegatives  int // legitimate flows labeled legit
+	FalseNegatives int // spoofed flows labeled legit
+	Unknown        int // flows the classifier could not judge
+}
+
+// Precision returns TP / (TP + FP), or 0 with no positives.
+func (r ClassifierReport) Precision() float64 {
+	d := r.TruePositives + r.FalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(r.TruePositives) / float64(d)
+}
+
+// Recall returns TP / (TP + FN), or 0 with no spoofed flows.
+func (r ClassifierReport) Recall() float64 {
+	d := r.TruePositives + r.FalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(r.TruePositives) / float64(d)
+}
+
+// EvaluateClassifier runs the classifier over the flows and tallies the
+// confusion matrix. Unknown verdicts are counted separately and excluded
+// from precision/recall.
+func EvaluateClassifier(c *Classifier, flows []FlowSample) ClassifierReport {
+	var r ClassifierReport
+	for _, f := range flows {
+		switch c.Classify(f.Src, f.Ingress) {
+		case VerdictSpoofed:
+			if f.Spoofed {
+				r.TruePositives++
+			} else {
+				r.FalsePositives++
+			}
+		case VerdictLegit:
+			if f.Spoofed {
+				r.FalseNegatives++
+			} else {
+				r.TrueNegatives++
+			}
+		default:
+			r.Unknown++
+		}
+	}
+	return r
+}

@@ -1,0 +1,160 @@
+package spoof
+
+import (
+	"testing"
+
+	"spooftrack/internal/addr"
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/peering"
+	"spooftrack/internal/stats"
+	"spooftrack/internal/topo"
+)
+
+// classifierWorld builds a topology, platform, catchments and address
+// space for classifier tests.
+func classifierWorld(t *testing.T, seed uint64) ([]bgp.LinkID, *addr.Space, *topo.Graph) {
+	t.Helper()
+	p := topo.DefaultGenParams(seed)
+	p.NumASes = 800
+	g, err := topo.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := peering.New(g, peering.Options{EngineParams: bgp.DefaultParams(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := make([]bgp.Announcement, plat.NumLinks())
+	for i := range anns {
+		anns[i] = bgp.Announcement{Link: bgp.LinkID(i)}
+	}
+	out, err := plat.Deploy(bgp.Config{Anns: anns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.CatchmentVector(), addr.Allocate(g), g
+}
+
+func TestClassifierVerdicts(t *testing.T) {
+	catchment, space, g := classifierWorld(t, 81)
+	c := NewClassifier(catchment, addr.PerfectMapper{Space: space})
+	// A legitimate packet: source in its own catchment.
+	for i := 0; i < g.NumASes(); i++ {
+		if catchment[i] == bgp.NoLink {
+			continue
+		}
+		if v := c.Classify(space.HostAddr(i, 0), catchment[i]); v != VerdictLegit {
+			t.Fatalf("own-catchment packet classified %v", v)
+		}
+		// The same source claimed on a different link is spoofed.
+		other := (catchment[i] + 1) % 7
+		if v := c.Classify(space.HostAddr(i, 0), other); v != VerdictSpoofed {
+			t.Fatalf("cross-catchment packet classified %v", v)
+		}
+		break
+	}
+	// Unmappable source.
+	if v := c.Classify(addr.IXPAddr(1), 0); v != VerdictUnknown {
+		t.Fatalf("IXP source classified %v", v)
+	}
+}
+
+func TestClassifierPerfectMapperPerfectRecallish(t *testing.T) {
+	catchment, space, _ := classifierWorld(t, 82)
+	c := NewClassifier(catchment, addr.PerfectMapper{Space: space})
+	rng := stats.NewRNG(1)
+	// Pick an attacker with a route.
+	attacker := -1
+	for i, l := range catchment {
+		if l != bgp.NoLink {
+			attacker = i
+			break
+		}
+	}
+	flows, err := GenerateTraffic(rng, catchment, space, TrafficParams{
+		NumLegit: 2000, NumSpoofed: 2000, AttackerAS: attacker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := EvaluateClassifier(c, flows)
+	// With perfect mapping and true catchments there are no false
+	// positives: every legitimate flow matches its catchment.
+	if rep.FalsePositives != 0 {
+		t.Fatalf("%d false positives with perfect data", rep.FalsePositives)
+	}
+	// False negatives happen only when the claimed source shares the
+	// attacker's link (structurally undetectable), so recall is the
+	// fraction of address space outside the attacker's catchment.
+	if rep.Recall() < 0.5 {
+		t.Fatalf("recall %.2f implausibly low", rep.Recall())
+	}
+	if rep.Precision() != 1.0 {
+		t.Fatalf("precision %.2f, want 1.0", rep.Precision())
+	}
+	if rep.Unknown != 0 {
+		t.Fatalf("%d unknown flows with perfect mapper", rep.Unknown)
+	}
+}
+
+func TestClassifierNoisyMapperDegrades(t *testing.T) {
+	catchment, space, _ := classifierWorld(t, 83)
+	noisy, err := addr.NewNoisyMapper(space, 0.3, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClassifier(catchment, noisy)
+	rng := stats.NewRNG(2)
+	attacker := -1
+	for i, l := range catchment {
+		if l != bgp.NoLink {
+			attacker = i
+			break
+		}
+	}
+	flows, err := GenerateTraffic(rng, catchment, space, TrafficParams{
+		NumLegit: 2000, NumSpoofed: 0, AttackerAS: attacker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := EvaluateClassifier(c, flows)
+	// Heavy mapping noise must produce false positives on legit traffic.
+	if rep.FalsePositives == 0 {
+		t.Fatal("30% mapping noise produced no false positives")
+	}
+}
+
+func TestGenerateTrafficValidation(t *testing.T) {
+	catchment, space, _ := classifierWorld(t, 84)
+	rng := stats.NewRNG(3)
+	if _, err := GenerateTraffic(rng, []bgp.LinkID{bgp.NoLink}, space, TrafficParams{NumLegit: 1}); err == nil {
+		t.Fatal("no routed ASes accepted")
+	}
+	if _, err := GenerateTraffic(rng, catchment, space, TrafficParams{AttackerAS: -1}); err == nil {
+		t.Fatal("invalid attacker accepted")
+	}
+}
+
+func TestClassifierReportMath(t *testing.T) {
+	r := ClassifierReport{TruePositives: 8, FalsePositives: 2, FalseNegatives: 2}
+	if r.Precision() != 0.8 {
+		t.Fatalf("precision %v", r.Precision())
+	}
+	if r.Recall() != 0.8 {
+		t.Fatalf("recall %v", r.Recall())
+	}
+	var zero ClassifierReport
+	if zero.Precision() != 0 || zero.Recall() != 0 {
+		t.Fatal("zero report should have zero rates")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictLegit.String() != "legit" || VerdictSpoofed.String() != "spoofed" || VerdictUnknown.String() != "unknown" {
+		t.Fatal("verdict names wrong")
+	}
+	if Verdict(9).String() == "" {
+		t.Fatal("unknown verdict should render")
+	}
+}

@@ -1,0 +1,212 @@
+package topo
+
+import (
+	"fmt"
+
+	"spooftrack/internal/stats"
+)
+
+// GenParams configures the synthetic Internet generator. The defaults
+// (DefaultGenParams) produce a topology with the structural features the
+// paper's techniques depend on: a tier-1 clique at the top, a transit
+// hierarchy with preferential attachment (heavy-tailed customer degrees),
+// IXP-style peering meshes in the middle, and multihomed stubs at the edge.
+type GenParams struct {
+	// Seed drives all randomness in the generator.
+	Seed uint64
+	// NumASes is the total number of ASes to generate.
+	NumASes int
+	// NumTier1 is the number of tier-1 ASes (full peering clique, no
+	// providers).
+	NumTier1 int
+	// TransitFrac is the fraction of non-tier-1 ASes that are mid-tier
+	// transit providers; the rest are stubs.
+	TransitFrac float64
+	// MeanTransitProviders is the mean number of providers a mid-tier
+	// transit AS buys from (at least 1).
+	MeanTransitProviders float64
+	// StubMultihomeProb is the probability that a stub connects to a
+	// second provider.
+	StubMultihomeProb float64
+	// StubTier1Prob is the probability that a stub buys directly from a
+	// tier-1 instead of a mid-tier provider.
+	StubTier1Prob float64
+	// NumIXPs is the number of IXP-style peering meshes to create among
+	// mid-tier ASes.
+	NumIXPs int
+	// IXPSize is the number of mid-tier ASes participating in each IXP.
+	IXPSize int
+	// IXPPeerProb is the probability that two co-located IXP members
+	// establish a peering link.
+	IXPPeerProb float64
+}
+
+// DefaultGenParams returns generator parameters sized to roughly match the
+// coverage of the paper's measurement dataset (1885 observed ASes out of
+// the routed Internet): ~4000 ASes with ~900 transit networks. The
+// multihoming and peering densities are chosen at the high end of
+// measured Internet values so that the route diversity available to the
+// paper's techniques at the granularity of *observed* ASes (which are
+// disproportionately well-connected) is preserved at this reduced scale.
+func DefaultGenParams(seed uint64) GenParams {
+	return GenParams{
+		Seed:                 seed,
+		NumASes:              4000,
+		NumTier1:             12,
+		TransitFrac:          0.22,
+		MeanTransitProviders: 2.8,
+		StubMultihomeProb:    0.75,
+		StubTier1Prob:        0.03,
+		NumIXPs:              35,
+		IXPSize:              25,
+		IXPPeerProb:          0.40,
+	}
+}
+
+// Generate builds a synthetic AS-level Internet according to the
+// parameters. The same parameters always produce the same graph.
+func Generate(p GenParams) (*Graph, error) {
+	if p.NumASes < p.NumTier1+2 {
+		return nil, fmt.Errorf("topo: NumASes=%d too small for NumTier1=%d", p.NumASes, p.NumTier1)
+	}
+	if p.NumTier1 < 2 {
+		return nil, fmt.Errorf("topo: need at least 2 tier-1 ASes, got %d", p.NumTier1)
+	}
+	if p.TransitFrac <= 0 || p.TransitFrac >= 1 {
+		return nil, fmt.Errorf("topo: TransitFrac=%v out of (0,1)", p.TransitFrac)
+	}
+	rng := stats.NewRNG(p.Seed)
+	b := NewBuilder()
+
+	// ASNs are assigned sequentially from 1. Indices into the weight
+	// arrays below are ASN-1.
+	numTransit := int(float64(p.NumASes-p.NumTier1) * p.TransitFrac)
+	numStub := p.NumASes - p.NumTier1 - numTransit
+
+	// Tier-1 clique.
+	tier1 := make([]ASN, p.NumTier1)
+	for i := range tier1 {
+		tier1[i] = ASN(i + 1)
+		b.MarkTier1(tier1[i])
+	}
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			if err := b.AddP2P(tier1[i], tier1[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// custDegree tracks, per provider candidate, how many customers it
+	// already has; preferential attachment samples proportionally to
+	// custDegree+1 so early providers grow heavy tails.
+	custDegree := make(map[ASN]int)
+
+	// Mid-tier transit ASes buy from tier-1s and previously created
+	// mid-tier ASes.
+	transit := make([]ASN, numTransit)
+	providerPool := append([]ASN(nil), tier1...)
+	for i := range transit {
+		asn := ASN(p.NumTier1 + i + 1)
+		transit[i] = asn
+		// 1 + geometric-ish number of providers around the mean.
+		nProv := 1
+		for float64(nProv) < p.MeanTransitProviders-0.5+rng.Float64() && nProv < 4 {
+			nProv++
+		}
+		for k := 0; k < nProv; k++ {
+			prov := pickWeighted(rng, providerPool, custDegree, asn, b)
+			if prov == 0 {
+				break
+			}
+			if err := b.AddP2C(prov, asn); err != nil {
+				return nil, err
+			}
+			custDegree[prov]++
+		}
+		providerPool = append(providerPool, asn)
+	}
+
+	// Stubs buy from mid-tier ASes (occasionally tier-1s).
+	for i := 0; i < numStub; i++ {
+		asn := ASN(p.NumTier1 + numTransit + i + 1)
+		nProv := 1
+		if rng.Bool(p.StubMultihomeProb) {
+			nProv = 2
+		}
+		for k := 0; k < nProv; k++ {
+			pool := transit
+			if rng.Bool(p.StubTier1Prob) || len(transit) == 0 {
+				pool = tier1
+			}
+			prov := pickWeighted(rng, pool, custDegree, asn, b)
+			if prov == 0 {
+				break
+			}
+			if err := b.AddP2C(prov, asn); err != nil {
+				return nil, err
+			}
+			custDegree[prov]++
+		}
+	}
+
+	// IXP peering meshes among mid-tier ASes.
+	for x := 0; x < p.NumIXPs && len(transit) > 1; x++ {
+		size := p.IXPSize
+		if size > len(transit) {
+			size = len(transit)
+		}
+		members := sampleASNs(rng, transit, size)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if rng.Bool(p.IXPPeerProb) && !b.HasLink(members[i], members[j]) {
+					if err := b.AddP2P(members[i], members[j]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	return b.Freeze(), nil
+}
+
+// pickWeighted samples a provider from pool with probability proportional
+// to custDegree+1, skipping self and existing neighbors. Returns 0 if no
+// candidate is available.
+func pickWeighted(rng *stats.RNG, pool []ASN, custDegree map[ASN]int, self ASN, b *Builder) ASN {
+	total := 0
+	for _, asn := range pool {
+		if asn == self || b.HasLink(asn, self) {
+			continue
+		}
+		total += custDegree[asn] + 1
+	}
+	if total == 0 {
+		return 0
+	}
+	target := rng.Intn(total)
+	for _, asn := range pool {
+		if asn == self || b.HasLink(asn, self) {
+			continue
+		}
+		target -= custDegree[asn] + 1
+		if target < 0 {
+			return asn
+		}
+	}
+	return 0
+}
+
+// sampleASNs returns k distinct elements of pool (partial Fisher-Yates).
+func sampleASNs(rng *stats.RNG, pool []ASN, k int) []ASN {
+	cp := append([]ASN(nil), pool...)
+	if k > len(cp) {
+		k = len(cp)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(cp)-i)
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	return cp[:k]
+}
