@@ -1,0 +1,297 @@
+// Command spooftrackd is the live attribution daemon: it runs the
+// paper's closed loop as a long-lived service. On startup it performs
+// the offline phase (build a world, deploy the announcement campaign,
+// measure per-configuration catchments), then brings up the packet
+// plane on loopback — an AmpPot-style honeypot behind a border router —
+// and feeds every spoofed request through the streaming attribution
+// pipeline. When the volume-ranked top cluster is still too coarse, the
+// pipeline deploys the next greedy configuration online by swapping the
+// border's catchment table.
+//
+// HTTP endpoints (on -listen):
+//
+//	/status   pipeline snapshot: clusters, per-link rates, top sources
+//	/metrics  expvar-style counters, gauges and histograms
+//	/evidence operator-facing localization evidence for the candidates
+//	/healthz  liveness probe
+//
+// With -attackers > 0 the daemon also runs built-in demo attackers that
+// flood the border with spoofed requests, so a bare
+//
+//	spooftrackd
+//
+// demonstrates the full loop: attack traffic -> streaming attribution
+// -> online reconfiguration -> convergence, observable via /status.
+// Shut down with SIGINT/SIGTERM; the daemon drains the pipeline, writes
+// a final snapshot, and prints the localization outcome.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spooftrack"
+	"spooftrack/internal/amp"
+	"spooftrack/internal/core"
+	"spooftrack/internal/metrics"
+	"spooftrack/internal/stream"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:8347", "HTTP status listen address")
+		seed          = flag.Uint64("seed", 42, "world seed")
+		ases          = flag.Int("ases", 1000, "synthetic topology size (ASes)")
+		poison        = flag.Int("poison", 20, "max poisoning-phase targets")
+		workers       = flag.Int("workers", 0, "pipeline worker goroutines (0 = auto)")
+		threshold     = flag.Int("threshold", 1, "stop refining when the top cluster is this small")
+		minRound      = flag.Int64("min-round", 60, "minimum packets before a round is evaluated")
+		evalEvery     = flag.Duration("eval", 200*time.Millisecond, "round evaluation interval")
+		settle        = flag.Duration("settle", 50*time.Millisecond, "settle window after a reconfiguration")
+		maxConfigs    = flag.Int("max-configs", 0, "online reconfiguration budget (0 = unlimited)")
+		snapshotPath  = flag.String("snapshot", "", "periodic campaign dataset snapshot path (empty = off)")
+		snapshotEvery = flag.Duration("snapshot-every", 30*time.Second, "snapshot interval")
+		nAttackers    = flag.Int("attackers", 1, "built-in demo attackers (0 = external traffic only)")
+		pps           = flag.Int("pps", 400, "demo attack packets per second per attacker")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Offline phase: world + campaign + measured catchments. UseTruth
+	// keeps startup interactive; a real deployment measures instead.
+	params := spooftrack.DefaultTrackerParams(*seed)
+	tp := spooftrack.DefaultGenParams(*seed)
+	tp.NumASes = *ases
+	params.World.Topo = &tp
+	params.World.MaxPoisonTargets = *poison
+	params.UseTruth = true
+	log.Printf("offline: building world (%d ASes) and measuring campaign catchments...", *ases)
+	tracker, err := spooftrack.NewTracker(params)
+	if err != nil {
+		log.Fatalf("spooftrackd: %v", err)
+	}
+	camp := tracker.Campaign
+	log.Printf("offline: %d configurations, %d sources, %d links",
+		camp.NumConfigs(), camp.NumSources(), tracker.World.Platform.NumLinks())
+
+	// Packet plane on loopback: honeypot behind a border router.
+	hp, err := amp.NewHoneypot("127.0.0.1:0", amp.DefaultHoneypotConfig())
+	if err != nil {
+		log.Fatalf("spooftrackd: honeypot: %v", err)
+	}
+	defer hp.Close()
+	border, err := amp.NewBorder("127.0.0.1:0", hp.Addr().(*net.UDPAddr), nil)
+	if err != nil {
+		log.Fatalf("spooftrackd: border: %v", err)
+	}
+	defer border.Close()
+
+	// Streaming attribution pipeline, closed onto the border: deploying
+	// a configuration means swapping the live catchment table.
+	reg := metrics.NewRegistry()
+	pipe, err := stream.New(stream.Attribution{
+		Catchments: camp.Catchments,
+		SourceASNs: tracker.SourceASNs(),
+		NumLinks:   tracker.World.Platform.NumLinks(),
+	}, stream.Config{
+		Workers:          *workers,
+		EvalInterval:     *evalEvery,
+		SplitThreshold:   *threshold,
+		MinRoundPackets:  *minRound,
+		MaxOnlineConfigs: *maxConfigs,
+		Settle:           *settle,
+		Metrics:          reg,
+		Deploy: func(cfgIdx int, table map[uint32]uint8) {
+			border.SetCatchments(table)
+			log.Printf("deploy: configuration %d (%d routed sources)", cfgIdx, len(table))
+		},
+	})
+	if err != nil {
+		log.Fatalf("spooftrackd: pipeline: %v", err)
+	}
+	hp.SetTap(func(ev amp.Event) { pipe.Ingest(ev) })
+
+	// HTTP surface.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, pipe.Status(10))
+	})
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/evidence", func(w http.ResponseWriter, r *http.Request) {
+		if pipe.Status(0).Rounds == 0 {
+			http.Error(w, "no rounds folded yet: evidence would list every source as a candidate", http.StatusConflict)
+			return
+		}
+		rep, err := pipe.Evidence()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	httpErr := make(chan error, 1)
+	go func() {
+		log.Printf("listening on http://%s (/status /metrics /evidence /healthz)", *listen)
+		httpErr <- srv.ListenAndServe()
+	}()
+	log.Printf("honeypot %v, border %v: point spoofed traffic at the border", hp.Addr(), border.Addr())
+
+	// Periodic dataset snapshot of the configurations deployed so far.
+	var snapWG chan struct{}
+	if *snapshotPath != "" {
+		snapWG = make(chan struct{})
+		go func() {
+			defer close(snapWG)
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
+						log.Printf("snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	// Demo traffic: spoofing attackers flooding the border until the
+	// daemon shuts down.
+	attackers := startAttackers(ctx, tracker, border.Addr(), *nAttackers, *pps)
+
+	<-ctx.Done()
+	log.Printf("shutting down: draining pipeline...")
+
+	// Graceful order: stop producers, detach the tap, then drain the
+	// pipeline so every accepted event is folded before reporting.
+	<-attackers
+	hp.SetTap(nil)
+	pipe.Close()
+
+	if *snapshotPath != "" {
+		<-snapWG
+		if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else {
+			log.Printf("final snapshot written to %s", *snapshotPath)
+		}
+	}
+
+	st := pipe.Status(5)
+	log.Printf("processed %d events over %d rounds, %d reconfigurations, converged=%v",
+		st.TotalEvents, st.Rounds, st.Reconfigurations, st.Converged)
+	if rep, err := pipe.Evidence(); err == nil && st.Rounds > 0 {
+		const maxPrint = 10
+		for i, c := range rep.Candidates {
+			if i == maxPrint {
+				log.Printf("... and %d more candidates (see /evidence)", len(rep.Candidates)-maxPrint)
+				break
+			}
+			log.Printf("candidate AS%d: mean volume share %.2f, traffic in %d of %d configurations (cluster size %d)",
+				c.ASN, c.MeanVolumeShare, c.ConfigsWithTraffic, c.ConfigsObserved, c.ClusterSize)
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+	if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http: %v", err)
+	}
+}
+
+// startAttackers launches n demo attackers spoofing from randomly
+// chosen source ASes and returns a channel closed when all have
+// stopped. The returned channel is already closed when n <= 0.
+func startAttackers(ctx context.Context, tracker *spooftrack.Tracker, borderAddr net.Addr, n, pps int) <-chan struct{} {
+	done := make(chan struct{})
+	if n <= 0 {
+		close(done)
+		return done
+	}
+	rng := spooftrack.NewRNG(tracker.World.Params.Seed ^ 0x5f)
+	victim := netip.MustParseAddr("192.0.2.66")
+	asns := tracker.SourceASNs()
+	burst := pps / 20 // 50ms cadence
+	if burst < 1 {
+		burst = 1
+	}
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			k := rng.Intn(len(asns))
+			a, err := amp.NewAttacker(uint32(asns[k]), victim)
+			if err != nil {
+				log.Printf("attacker: %v", err)
+				continue
+			}
+			defer a.Close()
+			log.Printf("demo attacker %d spoofing from AS%d (source %d)", i+1, asns[k], k)
+			go func(a *amp.Attacker) {
+				t := time.NewTicker(50 * time.Millisecond)
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+						if _, err := a.Flood(borderAddr, burst, 8); err != nil {
+							return
+						}
+					}
+				}
+			}(a)
+		}
+		<-ctx.Done()
+	}()
+	return done
+}
+
+// writeSnapshot atomically writes the dataset of the configurations the
+// pipeline has deployed so far.
+func writeSnapshot(path string, camp *spooftrack.Campaign, deployed []int) error {
+	if len(deployed) == 0 {
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteDataset(f, camp.SubCampaign(deployed).Dataset()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -9,8 +9,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"spooftrack"
 	"spooftrack/internal/cluster"
@@ -19,8 +22,12 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Producer side: run a campaign and export it.
 	params := spooftrack.DefaultTrackerParams(33)
+	params.Ctx = ctx
 	tp := spooftrack.DefaultGenParams(33)
 	tp.NumASes = 1000
 	params.World.Topo = &tp

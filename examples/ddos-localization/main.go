@@ -1,32 +1,33 @@
-// DDoS localization: the full pipeline at packet level. An AmpPot-style
-// honeypot and a border router run over loopback UDP; spoofing attackers
-// flood the honeypot while the origin cycles through announcement
-// configurations in greedy order (§V-C). The border stamps each packet
-// with its ingress peering link from the live catchment table; the
-// honeypot's per-link volumes are then correlated with the campaign's
-// catchments to localize the attacking ASes.
+// DDoS localization: the full pipeline at packet level, closed-loop. An
+// AmpPot-style honeypot and a border router run over loopback UDP;
+// spoofing attackers flood the honeypot while the streaming attribution
+// pipeline consumes every packet through the honeypot's event tap,
+// incrementally refines the localization, and deploys the next greedy
+// configuration online (§V-C) by swapping the border's live catchment
+// table — no precomputed deployment order, no manual round loop.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/netip"
+	"os"
+	"os/signal"
 	"time"
 
 	"spooftrack"
 	"spooftrack/internal/amp"
-	"spooftrack/internal/sched"
-	"spooftrack/internal/spoof"
+	"spooftrack/internal/stream"
 )
 
-const (
-	numAttackers    = 2
-	packetsPerRound = 60
-	configsToDeploy = 16
-)
+const numAttackers = 2
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Offline phase: measure catchments for the whole campaign before
 	// any attack (UseTruth keeps the example fast).
 	params := spooftrack.DefaultTrackerParams(11)
@@ -35,22 +36,13 @@ func main() {
 	params.World.Topo = &tp
 	params.World.MaxPoisonTargets = 20
 	params.UseTruth = true
+	params.Ctx = ctx
 	fmt.Println("offline: deploying campaign and measuring catchments...")
 	tracker, err := spooftrack.NewTracker(params)
 	if err != nil {
 		log.Fatal(err)
 	}
 	camp := tracker.Campaign
-
-	// Greedy deployment order computed from the measured catchments.
-	_, order := sched.GreedyTrajectory(camp.Catchments, configsToDeploy)
-
-	// Attack begins: pick attacker ASes.
-	rng := spooftrack.NewRNG(3)
-	attackers := make([]int, numAttackers) // source positions
-	for i := range attackers {
-		attackers[i] = rng.Intn(camp.NumSources())
-	}
 
 	// Packet-level infrastructure on loopback.
 	victim := netip.MustParseAddr("192.0.2.66")
@@ -65,9 +57,33 @@ func main() {
 	}
 	defer border.Close()
 
+	// Streaming attribution: the honeypot tap feeds the pipeline, and
+	// the pipeline's Deploy callback reconfigures the border online.
+	pipe, err := stream.New(stream.Attribution{
+		Catchments: camp.Catchments,
+		SourceASNs: tracker.SourceASNs(),
+		NumLinks:   tracker.World.Platform.NumLinks(),
+	}, stream.Config{
+		EvalInterval:    50 * time.Millisecond,
+		MinRoundPackets: 60,
+		Settle:          10 * time.Millisecond,
+		Deploy: func(cfgIdx int, table map[uint32]uint8) {
+			border.SetCatchments(table)
+			fmt.Printf("  deploy: configuration %d\n", cfgIdx)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hp.SetTap(func(ev amp.Event) { pipe.Ingest(ev) })
+
+	// Attack begins: pick attacker ASes.
+	rng := spooftrack.NewRNG(3)
+	attackers := make([]int, numAttackers) // source positions
 	clients := make([]*amp.Attacker, numAttackers)
-	for i, k := range attackers {
-		asn := tracker.SourceASNs()[k]
+	for i := range attackers {
+		attackers[i] = rng.Intn(camp.NumSources())
+		asn := tracker.SourceASNs()[attackers[i]]
 		clients[i], err = amp.NewAttacker(uint32(asn), victim)
 		if err != nil {
 			log.Fatal(err)
@@ -76,59 +92,28 @@ func main() {
 		fmt.Printf("attacker %d spoofing from AS%d\n", i+1, asn)
 	}
 
-	// Online phase: deploy configurations in greedy order; under each,
-	// update the border's catchment table, let attackers flood, and
-	// read the honeypot's per-link volumes.
-	numLinks := tracker.World.Platform.NumLinks()
-	var deployedConfigs []int
-	volumes := make([][]float64, 0, len(order))
-	prevPackets := map[uint8]int64{}
-	for round, cfgIdx := range order {
-		table := map[uint32]uint8{}
-		for k, src := range camp.Sources {
-			if l := camp.Catchments[cfgIdx][k]; l != spooftrack.NoLink {
-				table[uint32(tracker.World.Graph.ASN(src))] = uint8(l)
-			}
-		}
-		border.SetCatchments(table)
+	// Online phase: flood until the attribution converges — the
+	// pipeline reconfigures the border by itself along the way.
+	deadline := time.Now().Add(30 * time.Second)
+	for !pipe.Converged() && time.Now().Before(deadline) && ctx.Err() == nil {
 		for _, c := range clients {
-			if _, err := c.Flood(border.Addr(), packetsPerRound, 8); err != nil {
+			if _, err := c.Flood(border.Addr(), 30, 8); err != nil {
 				log.Fatal(err)
 			}
 		}
-		// Wait for this round's packets to drain through the pipeline.
-		want := int64((round + 1) * numAttackers * packetsPerRound)
-		deadline := time.Now().Add(3 * time.Second)
-		for time.Now().Before(deadline) {
-			total := int64(0)
-			for _, s := range hp.VolumeByLink() {
-				total += s.Packets
-			}
-			if total >= want {
-				break
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		// Per-round link volumes = deltas of the honeypot counters.
-		row := make([]float64, numLinks)
-		for l, s := range hp.VolumeByLink() {
-			row[int(l)] = float64(s.Packets - prevPackets[l])
-			prevPackets[l] = s.Packets
-		}
-		volumes = append(volumes, row)
-		deployedConfigs = append(deployedConfigs, cfgIdx)
+		time.Sleep(20 * time.Millisecond)
 	}
 
-	// Correlate measured volumes with the deployed configurations'
-	// catchments.
-	catchments := make([][]spooftrack.LinkID, len(deployedConfigs))
-	for i, cfgIdx := range deployedConfigs {
-		catchments[i] = camp.Catchments[cfgIdx]
-	}
-	cands := spoof.Localize(catchments, volumes)
+	// Graceful shutdown: stop the producer side, then drain.
+	hp.SetTap(nil)
+	pipe.Close()
 
-	fmt.Printf("\nafter %d greedy configurations, %d of %d sources remain candidates:\n",
-		len(deployedConfigs), len(cands), camp.NumSources())
+	st := pipe.Status(5)
+	fmt.Printf("\nprocessed %d spoofed packets over %d rounds, %d online reconfigurations\n",
+		st.TotalEvents, st.Rounds, st.Reconfigurations)
+	cands := pipe.Candidates()
+	fmt.Printf("after %d deployed configurations, %d of %d sources remain candidates:\n",
+		len(pipe.Deployed()), len(cands), camp.NumSources())
 	isAttacker := map[int]bool{}
 	for _, k := range attackers {
 		isAttacker[k] = true

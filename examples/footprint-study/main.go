@@ -6,13 +6,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"spooftrack/internal/experiments"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Println("deploying campaign for the footprint study...")
 	lab, err := experiments.NewLab(experiments.LabParams{
 		Seed:             5,
@@ -20,6 +26,7 @@ func main() {
 		NumProbes:        500,
 		NumCollectors:    120,
 		MaxPoisonTargets: 40,
+		Ctx:              ctx,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
+	"os"
+	"os/signal"
 	"time"
 
 	"spooftrack"
@@ -19,6 +22,8 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	// A small world provides the configurations to announce.
 	world, err := spooftrack.BuildWorld(func() spooftrack.WorldParams {
 		p := spooftrack.DefaultWorldParams(55)
@@ -60,6 +65,10 @@ func main() {
 	prefix := measure.AnnouncedPrefix
 	nextHop := netip.MustParseAddr("203.0.113.1")
 	for i, pc := range plan {
+		if ctx.Err() != nil {
+			fmt.Println("canceled; withdrawing and closing the session")
+			return
+		}
 		fmt.Printf("configuration %d (%s): %v\n", i+1, pc.Phase, pc.Config)
 		for _, a := range pc.Config.Anns {
 			u := &bgpwire.Update{

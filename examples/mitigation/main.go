@@ -1,67 +1,111 @@
-// Mitigation: close the loop the paper's introduction sketches — use the
-// localization output to drive automatic DoS mitigation via BGP flowspec
-// (RFC 5575). An attacker floods the honeypot through the border router;
-// the tracker localizes the source clusters; flowspec drop rules are
-// generated for the candidate networks, disseminated in wire format, and
-// installed at the border. The attack volume collapses while legitimate
-// traffic keeps flowing.
+// Mitigation: close the loop the paper's introduction sketches — use
+// live localization output to drive automatic DoS mitigation via BGP
+// flowspec (RFC 5575). An attacker floods the honeypot through the
+// border router; the streaming attribution pipeline localizes the
+// source online (reconfiguring the border's catchment table as it
+// refines); flowspec drop rules are generated for the candidate
+// networks, disseminated in wire format, and installed at the border.
+// The attack volume collapses while legitimate traffic keeps flowing.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/netip"
+	"os"
+	"os/signal"
 	"time"
 
 	"spooftrack"
 	"spooftrack/internal/amp"
 	"spooftrack/internal/flowspec"
+	"spooftrack/internal/stream"
 )
 
 func main() {
-	// Offline: campaign and clusters.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Offline: campaign and measured catchments.
 	params := spooftrack.DefaultTrackerParams(21)
 	tp := spooftrack.DefaultGenParams(21)
 	tp.NumASes = 1000
 	params.World.Topo = &tp
 	params.World.MaxPoisonTargets = 20
 	params.UseTruth = true
-	fmt.Println("preparing: campaign + clusters...")
+	params.Ctx = ctx
+	fmt.Println("preparing: campaign + catchments...")
 	tracker, err := spooftrack.NewTracker(params)
 	if err != nil {
 		log.Fatal(err)
 	}
+	camp := tracker.Campaign
 
-	// The attack: one source AS spoofing toward the honeypot.
-	rng := spooftrack.NewRNG(5)
-	placement := tracker.PlaceSingleSource(rng)
-	attackerIdx := -1
-	for k, w := range placement.Weight {
-		if w > 0 {
-			attackerIdx = k
-		}
-	}
-	attackerAS := tracker.Campaign.Sources[attackerIdx]
-	attackerASN := tracker.World.Graph.ASN(attackerAS)
-	fmt.Printf("attacker: AS%d\n", attackerASN)
-
-	// Localize from simulated per-config honeypot volumes.
-	volumes := tracker.SimulateAttack(placement)
-	report, err := tracker.LocalizeAttack(volumes)
+	// Packet level: honeypot + border on loopback.
+	hp, err := amp.NewHoneypot("127.0.0.1:0", amp.DefaultHoneypotConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("localized to %d candidate network(s): %v\n",
-		len(report.CandidateASNs), report.CandidateASNs)
+	defer hp.Close()
+	border, err := amp.NewBorder("127.0.0.1:0", hp.Addr().(*net.UDPAddr), camp.CatchmentTable(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer border.Close()
+
+	// The attack: one source AS spoofing toward the honeypot.
+	rng := spooftrack.NewRNG(5)
+	attackerIdx := rng.Intn(camp.NumSources())
+	attackerASN := tracker.SourceASNs()[attackerIdx]
+	fmt.Printf("attacker: AS%d\n", attackerASN)
+	victim := netip.MustParseAddr("198.51.100.200")
+	attack, err := amp.NewAttacker(uint32(attackerASN), victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer attack.Close()
+
+	// Localize live: the honeypot tap streams every spoofed request
+	// into the attribution pipeline, which reconfigures the border
+	// online until the attacker's cluster cannot be refined further.
+	pipe, err := stream.New(stream.Attribution{
+		Catchments: camp.Catchments,
+		SourceASNs: tracker.SourceASNs(),
+		NumLinks:   tracker.World.Platform.NumLinks(),
+	}, stream.Config{
+		EvalInterval:    50 * time.Millisecond,
+		MinRoundPackets: 40,
+		Settle:          10 * time.Millisecond,
+		Deploy: func(cfgIdx int, table map[uint32]uint8) {
+			border.SetCatchments(table)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hp.SetTap(func(ev amp.Event) { pipe.Ingest(ev) })
+	deadline := time.Now().Add(30 * time.Second)
+	for !pipe.Converged() && time.Now().Before(deadline) && ctx.Err() == nil {
+		if _, err := attack.Flood(border.Addr(), 30, 8); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	hp.SetTap(nil)
+	pipe.Close()
+	candidates := pipe.Candidates()
+	fmt.Printf("localized to %d candidate network(s) after %d online reconfigurations\n",
+		len(candidates), len(pipe.Deployed())-1)
 
 	// Generate flowspec drop rules for the candidates' prefixes,
 	// protecting the honeypot prefix, scoped to the amplification
 	// service (UDP/11211 as a memcached stand-in).
 	protect := netip.MustParsePrefix("198.51.100.0/24")
 	var candidateIdx []int
-	for _, k := range report.CandidateIndexes {
-		candidateIdx = append(candidateIdx, tracker.Campaign.Sources[k])
+	for _, k := range candidates {
+		candidateIdx = append(candidateIdx, camp.Sources[k])
 	}
 	rules := flowspec.DropRulesForSources(tracker.World.Space, candidateIdx, protect, 17, 11211)
 	wire, err := flowspec.MarshalRules(rules)
@@ -75,39 +119,15 @@ func main() {
 	}
 	table := flowspec.NewTable(installed)
 
-	// Packet level: honeypot + border on loopback.
-	hp, err := amp.NewHoneypot("127.0.0.1:0", amp.DefaultHoneypotConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer hp.Close()
-	catchment := map[uint32]uint8{}
-	for k, src := range tracker.Campaign.Sources {
-		if l := tracker.Campaign.Catchments[0][k]; l != spooftrack.NoLink {
-			catchment[uint32(tracker.World.Graph.ASN(src))] = uint8(l)
-		}
-	}
-	border, err := amp.NewBorder("127.0.0.1:0", hp.Addr().(*net.UDPAddr), catchment)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer border.Close()
-
-	victim := netip.MustParseAddr("198.51.100.200")
-	attack, err := amp.NewAttacker(uint32(attackerASN), victim)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer attack.Close()
-
 	flood := func(n int) int64 {
 		before := totalPackets(hp)
+		filteredBefore := border.Filtered()
 		if _, err := attack.Flood(border.Addr(), n, 8); err != nil {
 			log.Fatal(err)
 		}
-		deadline := time.Now().Add(2 * time.Second)
-		for time.Now().Before(deadline) {
-			if totalPackets(hp)+border.Filtered() >= before+int64(n) {
+		floodDeadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(floodDeadline) && ctx.Err() == nil {
+			if totalPackets(hp)-before+border.Filtered()-filteredBefore >= int64(n) {
 				break
 			}
 			time.Sleep(5 * time.Millisecond)

@@ -5,8 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"spooftrack/internal/bgp"
 	"spooftrack/internal/cluster"
@@ -15,6 +18,9 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Println("deploying campaign for the policy survey...")
 	lab, err := experiments.NewLab(experiments.LabParams{
 		Seed:             9,
@@ -22,6 +28,7 @@ func main() {
 		NumProbes:        500,
 		NumCollectors:    120,
 		MaxPoisonTargets: 40,
+		Ctx:              ctx,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -4,16 +4,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"spooftrack"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// A reduced-scale world keeps the quickstart fast; drop these
 	// overrides for the paper-scale 4000-AS / 705-configuration setup.
 	params := spooftrack.DefaultTrackerParams(42)
+	params.Ctx = ctx
 	tp := spooftrack.DefaultGenParams(42)
 	tp.NumASes = 1200
 	params.World.Topo = &tp

@@ -3,6 +3,7 @@ package amp
 import (
 	"net"
 	"sync"
+	"time"
 )
 
 // Border is the origin network's edge: it receives attack traffic,
@@ -27,6 +28,8 @@ type Border struct {
 	filter func(*Packet) bool
 	// filtered counts packets dropped by the filter.
 	filtered int64
+	// tap, when set, observes every forwarded packet.
+	tap Tap
 }
 
 // NewBorder starts a border router on addr forwarding to the honeypot
@@ -109,6 +112,7 @@ func (b *Border) serve() {
 			b.dropped++
 		}
 		filter := b.filter
+		tap := b.tap
 		b.mu.Unlock()
 		if !ok {
 			continue
@@ -120,6 +124,15 @@ func (b *Border) serve() {
 			continue
 		}
 		pkt.IngressLink = link
+		if tap != nil {
+			tap(Event{
+				Time:        time.Now(),
+				IngressLink: link,
+				TrueSrcAS:   pkt.TrueSrcAS,
+				SpoofedSrc:  pkt.SpoofedSrc,
+				WireLen:     n,
+			})
+		}
 		if data, err := pkt.Marshal(); err == nil {
 			_, _ = b.conn.WriteTo(data, b.upstream)
 		}

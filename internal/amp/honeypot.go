@@ -51,6 +51,7 @@ type Honeypot struct {
 	wg   sync.WaitGroup
 
 	mu         sync.Mutex
+	tap        Tap
 	byLink     map[uint8]*LinkStats
 	bySource   map[netip.Addr]int64 // victim (spoofed) address -> packets
 	byService  map[string]int64     // emulated protocol -> requests
@@ -143,7 +144,21 @@ func (h *Honeypot) handleRequest(pkt *Packet, wireLen int) {
 		h.byService[svc.Name()]++
 	}
 	allowed := h.allowReflectLocked(pkt.SpoofedSrc)
+	tap := h.tap
 	h.mu.Unlock()
+
+	if tap != nil {
+		ev := Event{
+			Time:        time.Now(),
+			IngressLink: pkt.IngressLink,
+			SpoofedSrc:  pkt.SpoofedSrc,
+			WireLen:     wireLen,
+		}
+		if svc != nil {
+			ev.Service = svc.Name()
+		}
+		tap(ev)
+	}
 
 	if !allowed || h.cfg.Reflect == nil {
 		return

@@ -153,6 +153,19 @@ func (p *Partition) Members() [][]int {
 	return out
 }
 
+// MembersOf returns the sources of one cluster, in index order, without
+// materializing the full per-cluster membership lists — what a live
+// status endpoint wants when reporting only the top few clusters.
+func (p *Partition) MembersOf(id int) []int {
+	var out []int
+	for k, c := range p.assign {
+		if int(c) == id {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // Metrics summarizes a partition the way the paper's figures do.
 type Metrics struct {
 	NumClusters int

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,10 @@ type CampaignOptions struct {
 	// simulation parameter; results are bit-identical at any setting).
 	// Zero means GOMAXPROCS.
 	Parallelism int
+	// Ctx, if non-nil, cancels the campaign early: deployment and
+	// measurement stop between configurations and RunCampaign returns
+	// the context's error. Nil means run to completion.
+	Ctx context.Context
 }
 
 // Campaign is the result of deploying a plan: per-configuration routing
@@ -66,6 +71,10 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 	if len(plan) == 0 {
 		return nil, fmt.Errorf("core: empty plan")
 	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c := &Campaign{World: w, Plan: plan}
 	rng := w.rngFor(0xc0113c7)
 
@@ -74,6 +83,9 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 	// do not depend on measurement parallelism.
 	rngs := make([]*stats.RNG, len(plan))
 	for i, pc := range plan {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: campaign canceled at config %d: %w", i, err)
+		}
 		out, err := w.Platform.Deploy(pc.Config)
 		if err != nil {
 			return nil, fmt.Errorf("core: config %d (%v): %w", i, pc.Config, err)
@@ -101,6 +113,10 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if ctx.Err() != nil {
+						errs[i] = ctx.Err()
+						continue
+					}
 					m, err := w.MeasureOutcome(c.Outcomes[i], i, rngs[i])
 					c.Measurements[i] = m
 					errs[i] = err
@@ -115,6 +131,9 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		}
 		close(next)
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: campaign canceled during measurement: %w", err)
+		}
 		for i, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("core: config %d: %w", i, err)
@@ -201,6 +220,22 @@ func (c *Campaign) PhasePartitions() map[sched.Phase]*cluster.Partition {
 		}
 	}
 	return out
+}
+
+// CatchmentTable renders configuration cfgIdx's catchments as the
+// true-source-ASN -> ingress-link table an amp.Border consumes. Sources
+// without a known catchment under the configuration are omitted (the
+// border drops their traffic, as a network with no route would never
+// receive it).
+func (c *Campaign) CatchmentTable(cfgIdx int) map[uint32]uint8 {
+	g := c.World.Graph
+	table := make(map[uint32]uint8, len(c.Sources))
+	for k, src := range c.Sources {
+		if l := c.Catchments[cfgIdx][k]; l != bgp.NoLink {
+			table[uint32(g.ASN(src))] = uint8(l)
+		}
+	}
+	return table
 }
 
 // SubCampaign restricts the campaign to the configurations selected by

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -39,6 +40,8 @@ type LabParams struct {
 	UseTruth bool
 	// Progress, if non-nil, receives deployment progress.
 	Progress func(done, total int)
+	// Ctx, if non-nil, cancels the campaign deployment early.
+	Ctx context.Context
 }
 
 // NewLab builds a world and runs the default campaign.
@@ -66,7 +69,7 @@ func NewLab(p LabParams) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	camp, err := w.RunCampaign(plan, core.CampaignOptions{UseTruth: p.UseTruth, Progress: p.Progress})
+	camp, err := w.RunCampaign(plan, core.CampaignOptions{UseTruth: p.UseTruth, Progress: p.Progress, Ctx: p.Ctx})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,273 @@
+// Package metrics is a dependency-free instrumentation kit for the
+// live attribution pipeline: lock-free counters and gauges, fixed-bucket
+// histograms, and an expvar-style JSON export that cmd/spooftrackd
+// serves over HTTP. Hot-path operations (Counter.Add, Gauge.Set,
+// Histogram.Observe) are single atomic ops — safe to call from every
+// packet-processing goroutine.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the gauge's value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets. Buckets are
+// defined by their inclusive upper bounds; one implicit overflow bucket
+// catches everything beyond the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sumBig atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds. Use DefBuckets when in doubt.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// DefBuckets is a decade-spanning default (powers of ~3 from 1e-5 up),
+// suitable for latencies in seconds or small batch sizes alike.
+var DefBuckets = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+	0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBig.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBig.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBig.Load()) }
+
+// Mean returns the average observation (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the containing bucket. Overflow-bucket answers clamp to the
+// last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	acc := int64(0)
+	lo := 0.0
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			if i < len(h.bounds) {
+				lo = h.bounds[i]
+			}
+			continue
+		}
+		if float64(acc+n) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			frac := (rank - float64(acc)) / float64(n)
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		acc += n
+		lo = h.bounds[i]
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot is the histogram's export shape.
+func (h *Histogram) snapshot() map[string]any {
+	buckets := make(map[string]int64, len(h.counts))
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			key := "+inf"
+			if i < len(h.bounds) {
+				key = fmt.Sprintf("%g", h.bounds[i])
+			}
+			buckets[key] = n
+		}
+	}
+	return map[string]any{
+		"count":   h.Count(),
+		"sum":     h.Sum(),
+		"mean":    h.Mean(),
+		"p50":     h.Quantile(0.50),
+		"p99":     h.Quantile(0.99),
+		"buckets": buckets,
+	}
+}
+
+// Registry names and exports a set of metrics. The zero value is not
+// usable; call NewRegistry. All methods are safe for concurrent use;
+// Counter/Gauge/Histogram lookups are get-or-create and cheap enough
+// to call once at setup, not per event.
+type Registry struct {
+	mu    sync.RWMutex
+	order []string
+	vars  map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]any)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return register(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return register(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the named histogram, creating it with the bounds on
+// first use (bounds are ignored on later lookups).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	return register(r, name, func() *Histogram { return NewHistogram(bounds) })
+}
+
+func register[T any](r *Registry, name string, mk func() T) T {
+	r.mu.RLock()
+	v, ok := r.vars[name]
+	r.mu.RUnlock()
+	if ok {
+		t, good := v.(T)
+		if !good {
+			panic(fmt.Sprintf("metrics: %q registered with a different type", name))
+		}
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vars[name]; ok {
+		t, good := v.(T)
+		if !good {
+			panic(fmt.Sprintf("metrics: %q registered with a different type", name))
+		}
+		return t
+	}
+	t := mk()
+	r.vars[name] = t
+	r.order = append(r.order, name)
+	return t
+}
+
+// Snapshot returns every metric's current value, keyed by name:
+// counters as int64, gauges as float64, histograms as nested maps.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.vars))
+	for name, v := range r.vars {
+		switch m := v.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			out[name] = m.snapshot()
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the registry expvar-style: one JSON object, metrics
+// in registration order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	r.mu.RUnlock()
+	snap := r.Snapshot()
+	if _, err := fmt.Fprint(w, "{"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		v, ok := snap[name]
+		if !ok {
+			continue
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%q: %s", sep, name, data); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "\n}\n")
+	return err
+}
+
+// Handler serves the registry as JSON — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

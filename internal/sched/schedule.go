@@ -65,6 +65,26 @@ func RandomEnsemble(catchments [][]bgp.LinkID, nSeq int, seed uint64) (p25, medi
 	return p25, median, p75
 }
 
+// NextGreedy returns the index of the not-yet-used configuration whose
+// refinement of p yields the most clusters (equivalently, the smallest
+// mean cluster size), or -1 if every configuration is used. Ties break
+// toward the lowest index for determinism. This is the single step the
+// live pipeline (internal/stream) asks for between attack rounds;
+// GreedyTrajectory iterates it.
+func NextGreedy(p *cluster.Partition, catchments [][]bgp.LinkID, used []bool) int {
+	best, bestClusters := -1, -1
+	for c := range catchments {
+		if used[c] {
+			continue
+		}
+		k := p.NumClustersAfter(catchments[c])
+		if k > bestClusters || (k == bestClusters && (best == -1 || c < best)) {
+			best, bestClusters = c, k
+		}
+	}
+	return best
+}
+
 // GreedyTrajectory deploys, at every step, the not-yet-deployed
 // configuration that minimizes the resulting mean cluster size (§V-C's
 // "iterative algorithm"). maxSteps bounds the trajectory length (the
@@ -85,16 +105,7 @@ func GreedyTrajectory(catchments [][]bgp.LinkID, maxSteps int) (Trajectory, []in
 	traj := make(Trajectory, 0, steps)
 	order := make([]int, 0, steps)
 	for len(order) < steps {
-		best, bestClusters := -1, -1
-		for c := range catchments {
-			if used[c] {
-				continue
-			}
-			k := p.NumClustersAfter(catchments[c])
-			if k > bestClusters || (k == bestClusters && (best == -1 || c < best)) {
-				best, bestClusters = c, k
-			}
-		}
+		best := NextGreedy(p, catchments, used)
 		if best == -1 {
 			break
 		}
@@ -128,17 +139,7 @@ func GreedyVolumeTrajectory(catchments [][]bgp.LinkID, volume []float64, maxStep
 	traj := make(Trajectory, 0, steps)
 	order := make([]int, 0, steps)
 	for len(order) < steps {
-		best := -1
-		bestScore := 0.0
-		for c := range catchments {
-			if used[c] {
-				continue
-			}
-			score := volumeWeightedMeanSize(p.RefinedCopy(catchments[c]), volume)
-			if best == -1 || score < bestScore {
-				best, bestScore = c, score
-			}
-		}
+		best := NextGreedyVolume(p, catchments, volume, used)
 		if best == -1 {
 			break
 		}
@@ -148,6 +149,26 @@ func GreedyVolumeTrajectory(catchments [][]bgp.LinkID, volume []float64, maxStep
 		traj = append(traj, volumeWeightedMeanSize(p, volume))
 	}
 	return traj, order
+}
+
+// NextGreedyVolume returns the not-yet-used configuration minimizing
+// the volume-weighted mean cluster size after refinement, or -1 if all
+// are used. With live volume estimates from a honeypot, this prefers
+// configurations that split the clusters currently sending the most
+// spoofed traffic (§VIII-(i)).
+func NextGreedyVolume(p *cluster.Partition, catchments [][]bgp.LinkID, volume []float64, used []bool) int {
+	best := -1
+	bestScore := 0.0
+	for c := range catchments {
+		if used[c] {
+			continue
+		}
+		score := volumeWeightedMeanSize(p.RefinedCopy(catchments[c]), volume)
+		if best == -1 || score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
 }
 
 // volumeWeightedMeanSize is the expected size of the cluster a unit of

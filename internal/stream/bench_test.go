@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"spooftrack/internal/amp"
+)
+
+// BenchmarkStreamPipeline measures sustained ingest throughput
+// (events/sec) at different worker counts, with the controller ticking
+// but never reconfiguring so the steady-state hot path dominates.
+func BenchmarkStreamPipeline(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			attr := testAttribution()
+			p, err := New(attr, Config{
+				Workers:         workers,
+				QueueDepth:      4096,
+				BatchSize:       256,
+				FlushInterval:   10 * time.Millisecond,
+				EvalInterval:    10 * time.Millisecond,
+				MinRoundPackets: 1 << 40,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			victims := make([]netip.Addr, 64)
+			for i := range victims {
+				victims[i] = netip.AddrFrom4([4]byte{198, 51, 100, byte(i)})
+			}
+			now := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					p.Ingest(amp.Event{
+						Time:        now,
+						IngressLink: uint8(i % attr.NumLinks),
+						SpoofedSrc:  victims[i%len(victims)],
+						WireLen:     24,
+					})
+					i++
+				}
+			})
+			elapsed := b.Elapsed()
+			b.StopTimer()
+			p.Close()
+			if got := p.TotalEvents(); got != int64(b.N) {
+				b.Fatalf("accounted %d of %d events", got, b.N)
+			}
+			if s := elapsed.Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "events/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,210 @@
+package stream
+
+import (
+	"time"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/sched"
+)
+
+// controller is the closed loop: evaluate the current round on a tick,
+// and reconfigure when the attribution is still too coarse.
+func (p *Pipeline) controller() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.EvalInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.evaluate(false)
+		}
+	}
+}
+
+// evaluate folds the current round into the attribution state if it
+// carries enough volume, and — unless localization has converged —
+// deploys the configuration the greedy scheduler picks next. With
+// final=true (shutdown) it folds whatever the round holds.
+func (p *Pipeline) evaluate(final bool) {
+	t0 := time.Now()
+	p.mEvals.Inc()
+
+	p.mu.Lock()
+	st := &p.st
+	roundPackets := int64(0)
+	for _, n := range st.roundPkts {
+		roundPackets += n
+	}
+	p.mQueue.Set(float64(p.queueDepth()))
+	if roundPackets == 0 || (!final && roundPackets < p.cfg.MinRoundPackets) {
+		p.mu.Unlock()
+		return
+	}
+
+	// Fold the round: localizer misses, cluster refinement, history.
+	// Links below the noise floor are treated as silent so that a
+	// handful of packets straggling across a reconfiguration (stamped
+	// under the previous catchment table) cannot keep a cluster alive.
+	volumes := make([]float64, len(st.roundPkts))
+	floor := p.cfg.NoiseFloor * float64(roundPackets)
+	for l, n := range st.roundPkts {
+		if v := float64(n); v > floor {
+			volumes[l] = v
+		}
+	}
+	cur := st.current
+	st.loc.AddRound(p.attr.Catchments[cur], volumes)
+	st.part.Refine(p.attr.Catchments[cur])
+	st.candidates = st.loc.Candidates(p.cfg.MaxMisses)
+
+	m := st.part.Summarize()
+	roundBytes := int64(0)
+	for _, n := range st.roundBytes {
+		roundBytes += n
+	}
+	rec := RoundRecord{
+		Config:      cur,
+		Started:     st.roundStart,
+		Ended:       time.Now(),
+		Packets:     roundPackets,
+		Bytes:       roundBytes,
+		Volumes:     volumes,
+		NumClusters: m.NumClusters,
+		MeanSize:    m.MeanSize,
+		Candidates:  len(st.candidates),
+	}
+	st.history = append(st.history, rec)
+	p.mRounds.Inc()
+	p.mClusters.Set(float64(m.NumClusters))
+	p.mMeanSize.Set(m.MeanSize)
+	p.mCands.Set(float64(len(st.candidates)))
+
+	// Volume-ranked clusters: estimate per-source volume by splitting
+	// each link's round volume evenly across the candidates it hosts
+	// (§III-C attribution at round granularity), then find the heaviest
+	// candidate cluster still above the split threshold.
+	estVol := p.estimateVolumesLocked(volumes)
+	topID, topSize := p.topVolumeClusterLocked(estVol)
+
+	// The loop is done when the heaviest cluster is small enough, or
+	// when no remaining configuration separates its members — clusters
+	// bound localization precision (§V), so deploying further would
+	// burn configurations without refining anything.
+	canSplit := false
+	if topSize > p.cfg.SplitThreshold {
+		canSplit = p.splittableLocked(st.part.MembersOf(topID))
+	}
+	var deployIdx = -1
+	budgetLeft := p.cfg.MaxOnlineConfigs == 0 || len(st.deployed)-1 < p.cfg.MaxOnlineConfigs
+	if !final && canSplit && budgetLeft {
+		next := sched.NextGreedyVolume(st.part, p.attr.Catchments, estVol, st.used)
+		if next >= 0 {
+			st.used[next] = true
+			st.current = next
+			st.deployed = append(st.deployed, next)
+			deployIdx = next
+			p.mReconfig.Inc()
+		}
+	}
+	st.converged = topSize >= 0 && !canSplit
+
+	// Start the next round (same config if nothing new to deploy). The
+	// epoch bump invalidates worker batches accumulated before this
+	// fold — flushed late, they would otherwise leak the old round's
+	// per-link counts into the new one. The settle deadline is
+	// published before the lock drops so no event produced under the
+	// old configuration can observe a stale value.
+	for l := range st.roundPkts {
+		st.roundPkts[l], st.roundBytes[l] = 0, 0
+	}
+	st.epoch++
+	p.epoch.Store(st.epoch)
+	st.roundStart = time.Now()
+	if deployIdx >= 0 && p.cfg.Settle > 0 {
+		p.settleUntil.Store(time.Now().Add(p.cfg.Settle).UnixNano())
+	}
+	p.mu.Unlock()
+
+	if deployIdx >= 0 && p.cfg.Deploy != nil {
+		p.cfg.Deploy(deployIdx, p.table(deployIdx))
+	}
+	p.hEval.Observe(time.Since(t0).Seconds())
+}
+
+// estimateVolumesLocked attributes the round's per-link volume to
+// sources: each candidate whose current catchment is link l gets an
+// equal share of volumes[l]; eliminated sources get zero. Caller holds
+// p.mu.
+func (p *Pipeline) estimateVolumesLocked(volumes []float64) []float64 {
+	st := &p.st
+	row := p.attr.Catchments[st.current]
+	onLink := make([]int, len(volumes))
+	for _, k := range st.candidates {
+		if l := row[k]; l != bgp.NoLink && int(l) < len(onLink) {
+			onLink[l]++
+		}
+	}
+	est := make([]float64, len(row))
+	for _, k := range st.candidates {
+		if l := row[k]; l != bgp.NoLink && int(l) < len(volumes) && onLink[l] > 0 {
+			est[k] = volumes[l] / float64(onLink[l])
+		}
+	}
+	return est
+}
+
+// topVolumeClusterLocked returns the candidate cluster carrying the
+// most estimated volume and its size, or (-1, -1) when no candidate
+// carries volume. Caller holds p.mu.
+func (p *Pipeline) topVolumeClusterLocked(estVol []float64) (clusterID, size int) {
+	st := &p.st
+	volByCluster := make(map[int]float64)
+	for _, k := range st.candidates {
+		if estVol[k] > 0 {
+			volByCluster[st.part.ClusterOf(k)] += estVol[k]
+		}
+	}
+	best, bestVol := -1, 0.0
+	for c, v := range volByCluster {
+		if best == -1 || v > bestVol || (v == bestVol && c < best) {
+			best, bestVol = c, v
+		}
+	}
+	if best == -1 {
+		return -1, -1
+	}
+	return best, len(st.part.MembersOf(best))
+}
+
+// splittableLocked reports whether any unused configuration maps the
+// given cluster members to more than one ingress link — i.e. whether
+// further refinement of that cluster is possible at all. Caller holds
+// p.mu.
+func (p *Pipeline) splittableLocked(members []int) bool {
+	if len(members) < 2 {
+		return false
+	}
+	for cfg, row := range p.attr.Catchments {
+		if p.st.used[cfg] {
+			continue
+		}
+		first := row[members[0]]
+		for _, k := range members[1:] {
+			if row[k] != first {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// queueDepth sums the occupancy of every shard channel (approximate).
+func (p *Pipeline) queueDepth() int {
+	d := 0
+	for _, ch := range p.shards {
+		d += len(ch)
+	}
+	return d
+}

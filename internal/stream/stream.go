@@ -1,0 +1,485 @@
+// Package stream is the live attribution pipeline: it turns the repo's
+// one-shot batch localization (core.Campaign → clusters → report) into
+// the closed loop the paper's operational story describes (§I, §V-C) —
+// an origin AS localizing spoofers *while an attack is in progress*.
+//
+// Per-packet events tapped from the amp honeypot are sharded across N
+// worker goroutines over bounded channels; workers accumulate batched
+// per-link and per-victim counters and flush them into shared round
+// state by count or tick. A controller goroutine periodically folds the
+// current round into an incremental localizer (spoof) and cluster
+// partition (cluster); when the volume-ranked top candidate cluster
+// still exceeds the split threshold, it asks the greedy scheduler
+// (sched.NextGreedyVolume) for the next announcement configuration and
+// applies the resulting catchment split online through a deploy
+// callback — in cmd/spooftrackd, amp.Border.SetCatchments.
+//
+// Backpressure, not loss: Ingest blocks when a shard's queue is full,
+// so a slow consumer stalls the producer instead of silently dropping
+// events. Close drains every queue, flushes outstanding batches, folds
+// the final round, and only then returns.
+package stream
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spooftrack/internal/amp"
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/cluster"
+	"spooftrack/internal/metrics"
+	"spooftrack/internal/spoof"
+	"spooftrack/internal/topo"
+)
+
+// Attribution is the precomputed offline knowledge the live loop runs
+// against: the campaign's measured catchment matrix (§V-C — "deploy
+// configurations whose catchments were measured beforehand").
+type Attribution struct {
+	// Catchments[c][k] is the catchment of source k under configuration
+	// c (bgp.NoLink when unobserved).
+	Catchments [][]bgp.LinkID
+	// SourceASNs[k] is the ASN of source k, for tables and reports.
+	SourceASNs []topo.ASN
+	// NumLinks is the number of peering links (sizes per-link counters).
+	NumLinks int
+	// InitialConfig is the configuration deployed when the pipeline
+	// starts (usually 0, the baseline anycast announcement).
+	InitialConfig int
+}
+
+// DeployFunc applies configuration cfgIdx: table maps each true source
+// ASN to the ingress link its traffic enters on under the new
+// announcement. It is called from the controller goroutine (and once
+// from New) and must not call back into the pipeline.
+type DeployFunc func(cfgIdx int, table map[uint32]uint8)
+
+// Config tunes the pipeline.
+type Config struct {
+	// Workers is the number of shard goroutines (default min(GOMAXPROCS, 8)).
+	Workers int
+	// QueueDepth bounds each shard's event channel (default 1024).
+	QueueDepth int
+	// BatchSize flushes a worker's local counters after this many
+	// events (default 256).
+	BatchSize int
+	// FlushInterval flushes idle workers' partial batches (default 100ms).
+	FlushInterval time.Duration
+	// EvalInterval is the controller's evaluation cadence (default
+	// 2×FlushInterval).
+	EvalInterval time.Duration
+	// SplitThreshold: reconfigure while the top volume-ranked candidate
+	// cluster holds more than this many sources (default 1 — drive to
+	// singletons).
+	SplitThreshold int
+	// MinRoundPackets is the volume a round must accumulate before the
+	// controller acts on it (default 50) — acting on a near-empty round
+	// would eliminate every quiet source.
+	MinRoundPackets int64
+	// MaxMisses is the localization tolerance (spoof.LocalizeTolerant);
+	// 0 is the paper's exact correlation.
+	MaxMisses int
+	// NoiseFloor is the fraction of a round's total volume below which
+	// a link counts as silent when folding the round — absorbs packets
+	// straggling across a reconfiguration under the old catchment
+	// table. Default 0.02; negative disables.
+	NoiseFloor float64
+	// MaxOnlineConfigs caps how many configurations the loop may deploy
+	// beyond the initial one (0 = no cap).
+	MaxOnlineConfigs int
+	// Settle ignores events observed within this duration after a
+	// reconfiguration for round accounting (they still count toward
+	// totals): packets stamped under the previous catchment table may
+	// be in flight, the loopback analogue of BGP convergence delay.
+	Settle time.Duration
+	// Deploy applies a configuration; nil means catchment switches are
+	// tracked but not materialized (useful in tests feeding Ingest
+	// directly).
+	Deploy DeployFunc
+	// Metrics instruments the pipeline (nil = a private registry).
+	Metrics *metrics.Registry
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 100 * time.Millisecond
+	}
+	if c.EvalInterval <= 0 {
+		c.EvalInterval = 2 * c.FlushInterval
+	}
+	if c.SplitThreshold <= 0 {
+		c.SplitThreshold = 1
+	}
+	if c.MinRoundPackets <= 0 {
+		c.MinRoundPackets = 50
+	}
+	if c.NoiseFloor == 0 {
+		c.NoiseFloor = 0.02
+	} else if c.NoiseFloor < 0 {
+		c.NoiseFloor = 0
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+}
+
+// RoundRecord is one completed round: the configuration that was
+// deployed, what the honeypot measured under it, and the attribution
+// state after folding it in.
+type RoundRecord struct {
+	Config      int       `json:"config"`
+	Started     time.Time `json:"started"`
+	Ended       time.Time `json:"ended"`
+	Packets     int64     `json:"packets"`
+	Bytes       int64     `json:"bytes"`
+	Volumes     []float64 `json:"-"`
+	NumClusters int       `json:"num_clusters"`
+	MeanSize    float64   `json:"mean_cluster_size"`
+	Candidates  int       `json:"candidates"`
+}
+
+// Pipeline is the running live-attribution loop. Create with New, feed
+// with Ingest (wire it as an amp tap), stop with Close.
+type Pipeline struct {
+	cfg  Config
+	attr Attribution
+
+	shards []chan amp.Event
+	wg     sync.WaitGroup
+	stop   chan struct{}
+
+	intakeMu sync.RWMutex
+	closed   bool
+
+	// settleUntil is the unix-nano time before which events are
+	// excluded from round accounting (read on the hot path).
+	settleUntil atomic.Int64
+	// epoch mirrors loopState.epoch for lock-free reads on the hot
+	// path: it increments at every round fold, and a worker batch
+	// flushed under a different epoch than it was accumulated in is
+	// excluded from round counters (its round has already been folded).
+	epoch atomic.Int64
+
+	mu sync.Mutex
+	st loopState
+
+	// metrics (resolved once; hot-path friendly)
+	mEvents   *metrics.Counter
+	mBytes    *metrics.Counter
+	mBatches  *metrics.Counter
+	mRounds   *metrics.Counter
+	mReconfig *metrics.Counter
+	mSettle   *metrics.Counter
+	mEvals    *metrics.Counter
+	mClusters *metrics.Gauge
+	mCands    *metrics.Gauge
+	mMeanSize *metrics.Gauge
+	mQueue    *metrics.Gauge
+	hBatch    *metrics.Histogram
+	hEval     *metrics.Histogram
+
+	start time.Time
+}
+
+// loopState is the controller-owned attribution state, guarded by
+// Pipeline.mu (workers touch it only inside flush).
+type loopState struct {
+	epoch      int64
+	current    int
+	deployed   []int
+	used       []bool
+	part       *cluster.Partition
+	loc        *spoof.IncrementalLocalizer
+	roundPkts  []int64
+	roundBytes []int64
+	roundStart time.Time
+	bySource   map[netip.Addr]int64
+	total      int64
+	totalBytes int64
+	settled    int64 // events excluded from rounds while settling
+	history    []RoundRecord
+	candidates []int
+	converged  bool
+}
+
+// New validates the attribution input, deploys the initial
+// configuration, and starts the workers and the control loop.
+func New(attr Attribution, cfg Config) (*Pipeline, error) {
+	if len(attr.Catchments) == 0 {
+		return nil, fmt.Errorf("stream: no configurations")
+	}
+	n := len(attr.Catchments[0])
+	for c, row := range attr.Catchments {
+		if len(row) != n {
+			return nil, fmt.Errorf("stream: config %d has %d catchments, config 0 has %d", c, len(row), n)
+		}
+	}
+	if len(attr.SourceASNs) != n {
+		return nil, fmt.Errorf("stream: %d source ASNs for %d sources", len(attr.SourceASNs), n)
+	}
+	if attr.NumLinks <= 0 {
+		return nil, fmt.Errorf("stream: NumLinks must be positive")
+	}
+	if attr.InitialConfig < 0 || attr.InitialConfig >= len(attr.Catchments) {
+		return nil, fmt.Errorf("stream: initial config %d out of range", attr.InitialConfig)
+	}
+	cfg.setDefaults()
+
+	p := &Pipeline{cfg: cfg, attr: attr, stop: make(chan struct{}), start: time.Now()}
+	reg := cfg.Metrics
+	p.mEvents = reg.Counter("stream_events_total")
+	p.mBytes = reg.Counter("stream_bytes_total")
+	p.mBatches = reg.Counter("stream_batches_total")
+	p.mRounds = reg.Counter("stream_rounds_total")
+	p.mReconfig = reg.Counter("stream_reconfigs_total")
+	p.mSettle = reg.Counter("stream_settle_excluded_total")
+	p.mEvals = reg.Counter("stream_evals_total")
+	p.mClusters = reg.Gauge("stream_clusters")
+	p.mCands = reg.Gauge("stream_candidates")
+	p.mMeanSize = reg.Gauge("stream_mean_cluster_size")
+	p.mQueue = reg.Gauge("stream_queue_depth")
+	p.hBatch = reg.Histogram("stream_batch_events", 1, 4, 16, 64, 256, 1024, 4096)
+	p.hEval = reg.Histogram("stream_eval_seconds", 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1)
+
+	p.st = loopState{
+		current:    attr.InitialConfig,
+		deployed:   []int{attr.InitialConfig},
+		used:       make([]bool, len(attr.Catchments)),
+		part:       cluster.New(n),
+		loc:        spoof.NewIncrementalLocalizer(n),
+		roundPkts:  make([]int64, attr.NumLinks),
+		roundBytes: make([]int64, attr.NumLinks),
+		roundStart: time.Now(),
+		bySource:   make(map[netip.Addr]int64),
+	}
+	p.st.used[attr.InitialConfig] = true
+	p.st.candidates = allSources(n)
+	p.mClusters.Set(1)
+	p.mCands.Set(float64(n))
+	p.mMeanSize.Set(float64(n))
+
+	if cfg.Deploy != nil {
+		cfg.Deploy(attr.InitialConfig, p.table(attr.InitialConfig))
+	}
+
+	p.shards = make([]chan amp.Event, cfg.Workers)
+	for i := range p.shards {
+		p.shards[i] = make(chan amp.Event, cfg.QueueDepth)
+		p.wg.Add(1)
+		go p.worker(p.shards[i])
+	}
+	p.wg.Add(1)
+	go p.controller()
+	return p, nil
+}
+
+func allSources(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// table renders configuration cfgIdx as a border catchment table.
+func (p *Pipeline) table(cfgIdx int) map[uint32]uint8 {
+	row := p.attr.Catchments[cfgIdx]
+	t := make(map[uint32]uint8, len(row))
+	for k, l := range row {
+		if l != bgp.NoLink {
+			t[uint32(p.attr.SourceASNs[k])] = uint8(l)
+		}
+	}
+	return t
+}
+
+// Ingest feeds one per-packet event into the pipeline, blocking if the
+// owning shard's queue is full (backpressure instead of loss). It
+// returns false once the pipeline is closed. Wire it as an amp tap:
+//
+//	hp.SetTap(func(ev amp.Event) { p.Ingest(ev) })
+func (p *Pipeline) Ingest(ev amp.Event) bool {
+	p.intakeMu.RLock()
+	defer p.intakeMu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.shards[shardOf(ev, len(p.shards))] <- ev
+	return true
+}
+
+// shardOf spreads events across workers by FNV-1a over the spoofed
+// source and ingress link, keeping any one flow on one worker.
+func shardOf(ev amp.Event, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	if ev.SpoofedSrc.Is4() {
+		b := ev.SpoofedSrc.As4()
+		for _, c := range b {
+			h = (h ^ uint32(c)) * 16777619
+		}
+	}
+	h = (h ^ uint32(ev.IngressLink)) * 16777619
+	return int(h % uint32(n))
+}
+
+// batch is a worker's local accumulator: counters batched per link and
+// per victim so the shared mutex is taken once per BatchSize events,
+// not per packet.
+type batch struct {
+	epoch    int64
+	events   int
+	pkts     []int64
+	bytes    []int64
+	bySource map[netip.Addr]int64
+	settled  int64
+	total    int64
+	totalB   int64
+}
+
+func newBatch(links int) *batch {
+	return &batch{
+		pkts:     make([]int64, links),
+		bytes:    make([]int64, links),
+		bySource: make(map[netip.Addr]int64),
+	}
+}
+
+func (b *batch) reset() {
+	b.events = 0
+	for i := range b.pkts {
+		b.pkts[i], b.bytes[i] = 0, 0
+	}
+	clear(b.bySource)
+	b.settled, b.total, b.totalB = 0, 0, 0
+}
+
+func (p *Pipeline) worker(ch chan amp.Event) {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.FlushInterval)
+	defer ticker.Stop()
+	b := newBatch(p.attr.NumLinks)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				p.flush(b)
+				return
+			}
+			p.accumulate(b, ev)
+			if b.events >= p.cfg.BatchSize {
+				p.flush(b)
+			}
+		case <-ticker.C:
+			if b.events > 0 {
+				p.flush(b)
+			}
+		}
+	}
+}
+
+func (p *Pipeline) accumulate(b *batch, ev amp.Event) {
+	if e := p.epoch.Load(); b.events == 0 {
+		b.epoch = e
+	} else if b.epoch != e {
+		// The round this batch belongs to has been folded; hand the
+		// batch over before starting one in the new epoch.
+		p.flush(b)
+		b.epoch = e
+	}
+	b.events++
+	b.total++
+	b.totalB += int64(ev.WireLen)
+	if su := p.settleUntil.Load(); su != 0 && ev.Time.UnixNano() < su {
+		b.settled++
+		return
+	}
+	if int(ev.IngressLink) < len(b.pkts) {
+		b.pkts[ev.IngressLink]++
+		b.bytes[ev.IngressLink] += int64(ev.WireLen)
+	}
+	b.bySource[ev.SpoofedSrc]++
+}
+
+// flush merges a worker batch into the shared round state.
+func (p *Pipeline) flush(b *batch) {
+	if b.events == 0 {
+		return
+	}
+	excluded := b.settled
+	p.mu.Lock()
+	st := &p.st
+	if b.epoch == st.epoch {
+		for l := range b.pkts {
+			st.roundPkts[l] += b.pkts[l]
+			st.roundBytes[l] += b.bytes[l]
+		}
+	} else {
+		// Stale batch: accumulated before the last fold, so its round
+		// no longer exists. Keep it out of the new round's counters.
+		for _, n := range b.pkts {
+			excluded += n
+		}
+	}
+	for src, n := range b.bySource {
+		st.bySource[src] += n
+	}
+	st.total += b.total
+	st.totalBytes += b.totalB
+	st.settled += excluded
+	p.mu.Unlock()
+
+	p.mEvents.Add(b.total)
+	p.mBytes.Add(b.totalB)
+	p.mSettle.Add(excluded)
+	p.mBatches.Inc()
+	p.hBatch.Observe(float64(b.events))
+	b.reset()
+}
+
+// Close stops intake, drains and flushes every shard, folds the final
+// round into the localizer, and shuts the control loop down. It is the
+// drain-then-flush half of graceful shutdown: stop producing events
+// (close the honeypot or detach the tap) before calling it.
+func (p *Pipeline) Close() {
+	p.intakeMu.Lock()
+	if p.closed {
+		p.intakeMu.Unlock()
+		return
+	}
+	p.closed = true
+	p.intakeMu.Unlock()
+
+	close(p.stop)
+	for _, ch := range p.shards {
+		close(ch)
+	}
+	p.wg.Wait()
+	p.evaluate(true)
+}
+
+// TotalEvents returns how many events have been flushed into the shared
+// state so far.
+func (p *Pipeline) TotalEvents() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st.total
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI entry point: vet, build, and test the whole module, then run the
+# race detector over the concurrency-heavy packages (streaming pipeline
+# and honeypot).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race (stream, amp)"
+go test -race ./internal/stream/... ./internal/amp/...
+
+echo "ci: all checks passed"

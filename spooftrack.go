@@ -27,6 +27,7 @@
 package spooftrack
 
 import (
+	"context"
 	"fmt"
 
 	"spooftrack/internal/bgp"
@@ -123,6 +124,8 @@ type TrackerParams struct {
 	UseTruth bool
 	// Progress, if non-nil, receives campaign deployment progress.
 	Progress func(done, total int)
+	// Ctx, if non-nil, cancels the campaign deployment early.
+	Ctx context.Context
 }
 
 // DefaultTrackerParams returns paper-scale tracker parameters.
@@ -150,7 +153,7 @@ func NewTracker(p TrackerParams) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	camp, err := w.RunCampaign(plan, core.CampaignOptions{UseTruth: p.UseTruth, Progress: p.Progress})
+	camp, err := w.RunCampaign(plan, core.CampaignOptions{UseTruth: p.UseTruth, Progress: p.Progress, Ctx: p.Ctx})
 	if err != nil {
 		return nil, err
 	}
