@@ -176,6 +176,7 @@ func BenchmarkFig10SpoofedTraffic(b *testing.B) {
 // imputation — on a reduced topology per iteration (the paper-scale run
 // is covered once by the shared lab).
 func BenchmarkCampaignDeployment(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		lab, err := experiments.NewLab(experiments.LabParams{
 			Seed:             uint64(i + 1),

@@ -1,5 +1,7 @@
 package bgp
 
+import "spooftrack/internal/topo"
+
 // PolicyAudit reports, for one converged outcome, which ASes' route
 // selections comply with the textbook BGP decision criteria the paper
 // audits in Fig. 9: (i) best relationship — preferring customer routes
@@ -57,16 +59,24 @@ func (e *Engine) Audit(out *Outcome) *PolicyAudit {
 		GaoRexford: make([]bool, n),
 	}
 	cfg := out.cfg
-	ctx := e.buildCtx(cfg)
-	directAnns := make(map[int][]int)
-	for ai, a := range cfg.Anns {
-		directAnns[e.origin.Links[a.Link].Provider] = append(directAnns[e.origin.Links[a.Link].Provider], ai)
+	scratch := e.getScratch()
+	defer e.putScratch(scratch, cfg)
+	e.buildCtx(scratch, cfg)
+	// offerFrom consults the cached export class of each sender; the
+	// outcome's selections were computed by an earlier propagation, so
+	// refresh the cache for the frozen state first.
+	for i := 0; i < n; i++ {
+		if out.sel[i].class != classInvalid {
+			scratch.sendClass[i] = e.trueClass(i, out.sel[i])
+		}
 	}
 	for i := 0; i < n; i++ {
 		s := out.sel[i]
 		if s.class == classInvalid {
 			continue
 		}
+		scratch.epoch++
+		t1Filter := e.params.Tier1PoisonFilter && e.g.IsTier1(i)
 		// Gather all valid offers in the converged state, with true
 		// (un-pinned) classes.
 		type offer struct {
@@ -74,14 +84,26 @@ func (e *Engine) Audit(out *Outcome) *PolicyAudit {
 			len   int32
 		}
 		var offers []offer
-		for _, ai := range directAnns[i] {
-			if ctx.poisoned[ai] != nil && ctx.poisoned[ai][e.g.ASN(i)] && !e.ignorePoison[i] {
+		for ai := range cfg.Anns {
+			if e.origin.Links[cfg.Anns[ai].Link].Provider != i {
+				continue
+			}
+			if row := scratch.ctx.poisoned[ai]; row != nil && row[i] && !e.ignorePoison[i] {
 				continue
 			}
 			offers = append(offers, offer{class: classCustomer, len: int32(cfg.Anns[ai].PathLen())})
 		}
 		for _, nb := range e.g.Neighbors(i) {
-			cand, ok := e.offerFrom(out, nb, i, ctx)
+			sn := out.sel[nb.Idx]
+			if sn.class == classInvalid {
+				continue
+			}
+			// Valley-free export filter (offerFrom's precondition): the
+			// sender only exports non-customer routes to its customers.
+			if scratch.sendClass[nb.Idx] != classCustomer && nb.Rel != topo.RelProvider {
+				continue
+			}
+			cand, ok := e.offerFrom(out.sel, sn, nb, i, scratch, t1Filter)
 			if !ok {
 				continue
 			}

@@ -1,0 +1,68 @@
+package bgp
+
+import "sync"
+
+// OutcomeCache memoizes propagation outcomes by canonical configuration
+// key (Config.Key). Outcomes are immutable, so cache hits return the
+// same *Outcome pointer the first propagation produced — callers get
+// pointer-stable, bit-identical results whether or not the cache is in
+// play. A cache belongs to one engine: keys do not encode engine
+// parameters.
+//
+// The footprint/scheduling experiments and the live reconfiguration loop
+// revisit configurations constantly (SubCampaign emulation, greedy
+// re-ranking, targeted re-deploys); with the cache each distinct
+// configuration is propagated exactly once per engine.
+type OutcomeCache struct {
+	mu     sync.Mutex
+	m      map[string]*Outcome
+	hits   uint64
+	misses uint64
+}
+
+// NewOutcomeCache returns an empty cache.
+func NewOutcomeCache() *OutcomeCache {
+	return &OutcomeCache{m: make(map[string]*Outcome)}
+}
+
+// Propagate returns the engine's outcome for the configuration, reusing
+// a previously computed outcome when the canonical key matches. Safe for
+// concurrent use; on a race, the first stored outcome wins so pointer
+// identity stays stable.
+func (c *OutcomeCache) Propagate(e *Engine, cfg Config) (*Outcome, error) {
+	key := cfg.Key()
+	c.mu.Lock()
+	if out, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return out, nil
+	}
+	c.mu.Unlock()
+	out, err := e.Propagate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.m[key]; ok {
+		c.hits++
+		return prior, nil
+	}
+	c.misses++
+	c.m[key] = &out
+	return &out, nil
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *OutcomeCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached outcomes.
+func (c *OutcomeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

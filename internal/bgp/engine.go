@@ -2,6 +2,8 @@ package bgp
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"spooftrack/internal/stats"
 	"spooftrack/internal/topo"
@@ -52,7 +54,10 @@ func DefaultParams(seed uint64) Params {
 
 // Engine propagates announcement configurations over a topology and
 // computes, for every AS, its chosen route and catchment. An Engine is
-// immutable after construction and safe for concurrent Propagate calls.
+// immutable after construction and safe for concurrent Propagate calls;
+// per-propagation working state lives in a pooled scratch (scratch.go),
+// so repeated calls on the same engine allocate only each Outcome's
+// selection array.
 type Engine struct {
 	g      *topo.Graph
 	origin Origin
@@ -72,12 +77,11 @@ type Engine struct {
 	// neighbor (lower wins); a seeded stand-in for IGP cost / router-id
 	// tiebreaks.
 	pri [][]int32
-	// nbrPos[i] maps neighbor dense index -> position in adj list of i.
-	nbrPos []map[int]int
-	// linkPri[p] is the tiebreak priority each provider assigns to the
-	// origin's direct announcements (always preferred strongly; only
-	// relevant when one provider hosts several links).
-	originASNSet map[topo.ASN]bool
+	// t1f[i] folds params.Tier1PoisonFilter && g.IsTier1(i) into one
+	// per-event load.
+	t1f []bool
+
+	scratch sync.Pool // *propScratch
 }
 
 // NewEngine builds an engine for the origin over the graph. It validates
@@ -104,12 +108,12 @@ func NewEngine(g *topo.Graph, origin Origin, params Params) (*Engine, error) {
 		lengthBlind:  make([]bool, g.NumASes()),
 		honorsComm:   make([]bool, g.NumASes()),
 		pri:          make([][]int32, g.NumASes()),
-		nbrPos:       make([]map[int]int, g.NumASes()),
-		originASNSet: map[topo.ASN]bool{origin.ASN: true},
+		t1f:          make([]bool, g.NumASes()),
 	}
 	rng := stats.NewRNG(params.Seed ^ 0x5b0ff7acc0ffee)
 	for i := 0; i < g.NumASes(); i++ {
 		ns := g.Neighbors(i)
+		e.t1f[i] = params.Tier1PoisonFilter && g.IsTier1(i)
 		e.pinned[i] = -1
 		if params.PolicyNoiseFrac > 0 && len(ns) > 0 && rng.Bool(params.PolicyNoiseFrac) {
 			e.pinned[i] = ns[rng.Intn(len(ns))].Idx
@@ -119,13 +123,10 @@ func NewEngine(g *topo.Graph, origin Origin, params Params) (*Engine, error) {
 		e.honorsComm[i] = params.CommunitySupportFrac > 0 && rng.Bool(params.CommunitySupportFrac)
 		perm := rng.Perm(len(ns))
 		pr := make([]int32, len(ns))
-		pos := make(map[int]int, len(ns))
-		for k, n := range ns {
+		for k := range ns {
 			pr[k] = int32(perm[k])
-			pos[n.Idx] = k
 		}
 		e.pri[i] = pr
-		e.nbrPos[i] = pos
 	}
 	return e, nil
 }
@@ -152,8 +153,7 @@ func (e *Engine) Perturbed(frac float64, seed uint64) (*Engine, error) {
 		lengthBlind:  append([]bool(nil), e.lengthBlind...),
 		honorsComm:   append([]bool(nil), e.honorsComm...),
 		pri:          make([][]int32, n),
-		nbrPos:       e.nbrPos,
-		originASNSet: e.originASNSet,
+		t1f:          e.t1f,
 	}
 	copy(cp.pri, e.pri) // shared rows, replaced below for perturbed ASes
 	rng := stats.NewRNG(seed ^ 0xd21f7ed)
@@ -242,50 +242,50 @@ const maxEventsPerAS = 64
 // Propagate computes the routing outcome of the configuration: every
 // AS's selected route toward the origin prefix, from which catchments and
 // AS-paths derive. It is deterministic for a given engine and config.
-func (e *Engine) Propagate(cfg Config) (*Outcome, error) {
+//
+// The Outcome is returned by value so a propagation performs exactly one
+// heap allocation (the selection array the Outcome owns); all other
+// working state is recycled through the engine's scratch pool.
+func (e *Engine) Propagate(cfg Config) (Outcome, error) {
 	if err := cfg.Validate(e.origin); err != nil {
-		return nil, err
+		return Outcome{}, err
 	}
 	n := e.g.NumASes()
-	out := &Outcome{engine: e, cfg: cfg, sel: make([]selection, n), converged: true}
-	for i := range out.sel {
-		out.sel[i] = noRoute
+	out := Outcome{engine: e, cfg: cfg, sel: make([]selection, n), converged: true}
+	sel := out.sel
+	for i := range sel {
+		sel[i] = noRoute
 	}
 
-	ctx := e.buildCtx(cfg)
+	s := e.getScratch()
+	defer e.putScratch(s, cfg)
+	e.buildCtx(s, cfg)
 
-	// directAnns[p] lists announcement indices arriving directly at
-	// provider dense index p.
-	directAnns := make(map[int][]int)
-	for ai, a := range cfg.Anns {
+	// Seed the queue with the providers receiving direct announcements,
+	// in ascending dense-index order for a deterministic initial sweep.
+	seeds := s.seeds[:0]
+	for _, a := range cfg.Anns {
 		p := e.origin.Links[a.Link].Provider
-		directAnns[p] = append(directAnns[p], ai)
+		if !s.queued[p] {
+			s.queued[p] = true
+			seeds = append(seeds, p)
+		}
 	}
+	sort.Ints(seeds)
+	for _, p := range seeds {
+		s.pushQueue(p)
+	}
+	s.seeds = seeds[:0]
 
 	// Event-driven (Gauss-Seidel) processing: re-evaluate an AS's
 	// decision against the current state; on change, enqueue neighbors.
-	// Sequential processing plus the loop check below maintains the
+	// Sequential processing plus chainInfo's loop check maintains the
 	// invariant that next-hop chains are always acyclic.
-	queued := make([]bool, n)
-	queue := make([]int, 0, n)
-	enqueue := func(i int) {
-		if !queued[i] {
-			queued[i] = true
-			queue = append(queue, i)
-		}
-	}
-	for p := range directAnns {
-		enqueue(p)
-	}
-	// Deterministic initial order.
-	sortInts(queue)
-
 	events := 0
 	budget := maxEventsPerAS * n
-	for len(queue) > 0 {
-		i := queue[0]
-		queue = queue[1:]
-		queued[i] = false
+	for s.qlen > 0 {
+		i := s.popQueue()
+		s.queued[i] = false
 		events++
 		if events > budget {
 			// Policy dispute wheels can prevent convergence, as in real
@@ -293,144 +293,135 @@ func (e *Engine) Propagate(cfg Config) (*Outcome, error) {
 			out.converged = false
 			return out, nil
 		}
+		s.epoch++
 
 		best := noRoute
-		// Direct origin announcements (origin is a customer of the
-		// provider; always class customer unless pinned elsewhere).
-		for _, ai := range directAnns[i] {
-			a := cfg.Anns[ai]
-			if ctx.poisoned[ai] != nil && ctx.poisoned[ai][e.g.ASN(i)] && !e.ignorePoison[i] {
-				continue
-			}
-			cand := selection{
-				class:   classCustomer,
-				ann:     int16(ai),
-				pathLen: int32(a.PathLen()),
-				nextHop: -1,
-				pri:     -1, // direct customer routes beat equal-length alternatives
-			}
-			if e.betterFor(i, cand, best) {
-				best = cand
+		// bestTrue tracks the winning candidate's true (un-pinned)
+		// relationship class, sparing a topology lookup when the
+		// selection changes. Direct origin routes are class customer.
+		bestTrue := classCustomer
+		if s.direct[i] {
+			// Direct origin announcements (origin is a customer of the
+			// provider; always class customer unless pinned elsewhere).
+			for ai := range cfg.Anns {
+				a := &cfg.Anns[ai]
+				if e.origin.Links[a.Link].Provider != i {
+					continue
+				}
+				if row := s.ctx.poisoned[ai]; row != nil && row[i] && !e.ignorePoison[i] {
+					continue
+				}
+				cand := selection{
+					class:   classCustomer,
+					ann:     int16(ai),
+					pathLen: s.ctx.annLen[ai],
+					nextHop: -1,
+					pri:     -1, // direct customer routes beat equal-length alternatives
+				}
+				if e.betterFor(i, cand, best) {
+					best = cand
+				}
 			}
 		}
 		// Offers from neighbors, based on their current selections.
-		for k, nb := range e.g.Neighbors(i) {
-			cand, ok := e.offerFrom(out, nb, i, ctx)
+		ns := e.g.Neighbors(i)
+		pri := e.pri[i]
+		pinned := e.pinned[i]
+		t1Filter := e.t1f[i]
+		for k, nb := range ns {
+			sn := sel[nb.Idx]
+			if sn.class == classInvalid {
+				continue
+			}
+			// Export filter at the sender: customer-learned (or direct
+			// origin) routes go to everyone; peer/provider-learned routes
+			// only to customers. A pinned selection exports according to
+			// the true relationship class of its next hop (cached in
+			// sendClass). nb.Rel is nb's relationship to i from i's view,
+			// so i is nb's customer exactly when nb.Rel is RelProvider.
+			if s.sendClass[nb.Idx] != classCustomer && nb.Rel != topo.RelProvider {
+				continue
+			}
+			cand, ok := e.offerFrom(sel, sn, nb, i, s, t1Filter)
 			if !ok {
 				continue
 			}
-			cand.pri = e.pri[i][k]
-			if e.pinned[i] == nb.Idx {
+			tc := cand.class
+			cand.pri = pri[k]
+			if pinned == nb.Idx {
 				cand.class = classPinned
 			}
 			if e.betterFor(i, cand, best) {
 				best = cand
+				bestTrue = tc
 			}
 		}
-		if best != out.sel[i] {
-			out.sel[i] = best
-			for _, nb := range e.g.Neighbors(i) {
-				enqueue(nb.Idx)
+		if best != sel[i] {
+			sel[i] = best
+			s.sendClass[i] = bestTrue
+			for _, nb := range ns {
+				if !s.queued[nb.Idx] {
+					s.queued[nb.Idx] = true
+					s.pushQueue(nb.Idx)
+				}
 			}
 		}
 	}
 	return out, nil
 }
 
-// propCtx carries the per-configuration lookup tables the decision
-// process needs: poison sets, tier-1 poison lists (for the route-leak
-// filter), and community action tables.
-type propCtx struct {
-	poisoned    []map[topo.ASN]bool
-	poisonTier1 [][]topo.ASN
-	comm        communityTables
-}
-
-// buildCtx precomputes the per-announcement tables for a configuration.
-func (e *Engine) buildCtx(cfg Config) *propCtx {
-	ctx := &propCtx{
-		poisoned:    make([]map[topo.ASN]bool, len(cfg.Anns)),
-		poisonTier1: make([][]topo.ASN, len(cfg.Anns)),
-		comm:        buildCommunityTables(cfg),
-	}
-	for ai, a := range cfg.Anns {
-		if len(a.Poison) == 0 {
-			continue
-		}
-		m := make(map[topo.ASN]bool, len(a.Poison))
-		for _, p := range a.Poison {
-			m[p] = true
-			if idx, ok := e.g.Index(p); ok && e.g.IsTier1(idx) {
-				ctx.poisonTier1[ai] = append(ctx.poisonTier1[ai], p)
-			}
-		}
-		ctx.poisoned[ai] = m
-	}
-	return ctx
-}
-
 // offerFrom computes the route neighbor nb (as seen from receiver i)
-// currently exports to i, applying valley-free export rules, loop
-// prevention, poisoning, and the tier-1 route-leak filter. The returned
-// selection has class set from i's point of view and pri unset.
-func (e *Engine) offerFrom(out *Outcome, nb topo.Neighbor, i int, ctx *propCtx) (selection, bool) {
-	s := out.sel[nb.Idx]
-	if s.class == classInvalid {
-		return selection{}, false
-	}
-	// Export filter at the sender: customer-learned (or direct origin)
-	// routes go to everyone; peer/provider-learned routes only to
-	// customers. A pinned selection exports according to the true
-	// relationship class of its next hop. nb.Rel is nb's relationship to
-	// i from i's view, so i is nb's customer exactly when nb.Rel is
-	// RelProvider.
-	sendClass := e.trueClass(nb.Idx, s)
-	if sendClass != classCustomer && nb.Rel != topo.RelProvider {
-		return selection{}, false
-	}
-	ai := int(s.ann)
-	iASN := e.g.ASN(i)
-	nbASN := e.g.ASN(nb.Idx)
+// currently exports to i, applying loop prevention, poisoning, action
+// communities, and the tier-1 route-leak filter. The caller must already
+// have checked that sn (= sel[nb.Idx]) is a valid selection and that the
+// valley-free export filter admits it toward i; both call sites do so
+// inline because those two rejections dominate and the checks are two
+// array reads. The returned selection has class set from i's point of
+// view and pri unset. recvT1Filter tells whether the receiver applies
+// the route-leak filter.
+func (e *Engine) offerFrom(sel []selection, sn selection, nb topo.Neighbor, i int, s *propScratch, recvT1Filter bool) (selection, bool) {
+	ai := int(sn.ann)
 	// Action communities at the exporting AS: suppress or lengthen the
 	// export toward i if nb honors them.
 	remotePrepend := int32(0)
-	if e.honorsComm[nb.Idx] {
-		if hasCommunity(ctx.comm.noExport, ai, nbASN, iASN) {
+	if s.ctx.anyComm && e.honorsComm[nb.Idx] {
+		iASN := e.g.ASN(i)
+		nbASN := e.g.ASN(nb.Idx)
+		if hasCommunity(s.ctx.comm.noExport, ai, nbASN, iASN) {
 			return selection{}, false
 		}
-		if hasCommunity(ctx.comm.prepend, ai, nbASN, iASN) {
+		if hasCommunity(s.ctx.comm.prepend, ai, nbASN, iASN) {
 			remotePrepend = remotePrependDepth
 		}
 	}
 	// Loop prevention on the embedded poison sentinels.
-	if ctx.poisoned[ai] != nil && ctx.poisoned[ai][iASN] && !e.ignorePoison[i] {
-		return selection{}, false
-	}
-	// Loop prevention on the actual path: reject if i already forwards
-	// for this route (walk the acyclic next-hop chain).
-	hop := nb.Idx
-	for hop != -1 {
-		if hop == i {
+	if s.ctx.anyPoison {
+		if row := s.ctx.poisoned[ai]; row != nil && row[i] && !e.ignorePoison[i] {
 			return selection{}, false
 		}
-		hop = int(out.sel[hop].nextHop)
+	}
+	// Loop prevention on the actual path (reject if i already forwards
+	// for this route) and the tier-1 route-leak scan, in one memoized
+	// walk of the acyclic next-hop chain.
+	onChain, chainT1 := s.chainInfo(sel, e.g, nb.Idx, i)
+	if onChain {
+		return selection{}, false
 	}
 	// Tier-1 route-leak filter: a tier-1 drops customer-learned routes
 	// whose path contains another tier-1 (natural or poisoned). A
 	// poisoned copy of the receiver's own ASN does not trip the filter —
 	// that is plain loop prevention, handled above.
-	if e.params.Tier1PoisonFilter && e.g.IsTier1(i) && nb.Rel == topo.RelCustomer {
-		for _, p := range ctx.poisonTier1[ai] {
-			if p != iASN {
-				return selection{}, false
+	if recvT1Filter && nb.Rel == topo.RelCustomer {
+		if s.ctx.anyPoison {
+			iASN := e.g.ASN(i)
+			for _, p := range s.ctx.poisonTier1[ai] {
+				if p != iASN {
+					return selection{}, false
+				}
 			}
 		}
-		hop = nb.Idx
-		for hop != -1 {
-			if e.g.IsTier1(hop) {
-				return selection{}, false
-			}
-			hop = int(out.sel[hop].nextHop)
+		if chainT1 {
+			return selection{}, false
 		}
 	}
 	class := classProvider
@@ -442,8 +433,8 @@ func (e *Engine) offerFrom(out *Outcome, nb topo.Neighbor, i int, ctx *propCtx) 
 	}
 	return selection{
 		class:   class,
-		ann:     s.ann,
-		pathLen: s.pathLen + 1 + remotePrepend,
+		ann:     sn.ann,
+		pathLen: sn.pathLen + 1 + remotePrepend,
 		nextHop: int32(nb.Idx),
 	}, true
 }
@@ -465,13 +456,5 @@ func (e *Engine) trueClass(owner int, s selection) int8 {
 		return classPeer
 	default:
 		return classProvider
-	}
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
 	}
 }

@@ -60,7 +60,7 @@ func propagate(t *testing.T, e *Engine, cfg Config) *Outcome {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return out
+	return &out
 }
 
 func TestAnycastBothLinks(t *testing.T) {

@@ -29,6 +29,7 @@ package bgp
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"spooftrack/internal/topo"
 )
@@ -121,15 +122,18 @@ func (c Config) Validate(o Origin) error {
 	if len(c.Anns) == 0 {
 		return fmt.Errorf("bgp: configuration announces from no links")
 	}
-	seen := make(map[LinkID]bool, len(c.Anns))
-	for _, a := range c.Anns {
+	// Duplicate detection by pairwise scan: configurations hold at most
+	// one announcement per peering link (a handful), and Validate runs on
+	// every Propagate, so this stays allocation-free on the hot path.
+	for i, a := range c.Anns {
 		if a.Link < 0 || int(a.Link) >= len(o.Links) {
 			return fmt.Errorf("bgp: link %d out of range (origin has %d links)", a.Link, len(o.Links))
 		}
-		if seen[a.Link] {
-			return fmt.Errorf("bgp: duplicate announcement on link %d", a.Link)
+		for _, prev := range c.Anns[:i] {
+			if prev.Link == a.Link {
+				return fmt.Errorf("bgp: duplicate announcement on link %d", a.Link)
+			}
 		}
-		seen[a.Link] = true
 		if a.Prepend < 0 {
 			return fmt.Errorf("bgp: negative prepend on link %d", a.Link)
 		}
@@ -148,6 +152,34 @@ func (c Config) Validate(o Origin) error {
 		}
 	}
 	return nil
+}
+
+// Key returns a canonical identity string for the configuration:
+// announcements ordered by link, each with its prepend count, poison
+// list, and communities verbatim. Two configurations with equal keys
+// produce identical routing outcomes (poison and community order is
+// preserved because it shapes reported AS-paths). Outcome caches key on
+// this.
+func (c Config) Key() string {
+	idx := make([]int, len(c.Anns))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return c.Anns[idx[a]].Link < c.Anns[idx[b]].Link })
+	var sb strings.Builder
+	sb.Grow(16 * len(c.Anns))
+	for _, i := range idx {
+		a := c.Anns[i]
+		fmt.Fprintf(&sb, "%d:%d", int(a.Link), a.Prepend)
+		for _, p := range a.Poison {
+			fmt.Fprintf(&sb, ",q%d", uint32(p))
+		}
+		for _, cm := range a.Communities {
+			fmt.Fprintf(&sb, ",c%d.%d.%d", uint32(cm.Operator), uint8(cm.Action), uint32(cm.Target))
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
 }
 
 // String renders the configuration compactly, e.g.

@@ -31,11 +31,16 @@ type CampaignOptions struct {
 	// unchanged; the campaign's simulated duration divides by this
 	// factor. Zero or one means a single prefix.
 	ConcurrentPrefixes int
-	// Parallelism bounds the worker pool that runs the measurement
-	// pipeline across configurations (host CPU parallelism, not a
-	// simulation parameter; results are bit-identical at any setting).
-	// Zero means GOMAXPROCS.
+	// Parallelism bounds the worker pool that runs route propagation and
+	// the measurement pipeline across configurations (host CPU
+	// parallelism, not a simulation parameter; results are bit-identical
+	// at any setting). Zero means GOMAXPROCS.
 	Parallelism int
+	// NoOutcomeCache bypasses the platform's outcome cache for this
+	// campaign: every configuration is propagated from scratch even if
+	// seen before. Outcomes are identical either way; this exists for
+	// benchmarking and memory-bounded runs.
+	NoOutcomeCache bool
 	// Ctx, if non-nil, cancels the campaign early: deployment and
 	// measurement stop between configurations and RunCampaign returns
 	// the context's error. Nil means run to completion.
@@ -78,59 +83,78 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 	c := &Campaign{World: w, Plan: plan}
 	rng := w.rngFor(0xc0113c7)
 
-	// Deploy sequentially (the platform clock and history are ordered
-	// state), collecting per-config RNGs in deployment order so results
-	// do not depend on measurement parallelism.
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+
+	// Per-config RNGs split in plan order up front, so downstream results
+	// do not depend on execution parallelism.
 	rngs := make([]*stats.RNG, len(plan))
+	for i := range plan {
+		rngs[i] = rng.Split()
+	}
+
+	// Deployment splits into three steps so propagation — the expensive
+	// part — can fan out across the worker pool while everything ordered
+	// stays sequential: (1) constraint-check in plan order, so validation
+	// errors surface at deterministic indices; (2) propagate each
+	// configuration concurrently into its slot (after CheckConstraints,
+	// propagation cannot fail except by cancellation); (3) record
+	// clock/history strictly in plan order. Outcomes are bit-identical at
+	// any Parallelism setting.
 	for i, pc := range plan {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: campaign canceled at config %d: %w", i, err)
-		}
-		out, err := w.Platform.Deploy(pc.Config)
-		if err != nil {
+		if err := w.Platform.CheckConstraints(pc.Config); err != nil {
 			return nil, fmt.Errorf("core: config %d (%v): %w", i, pc.Config, err)
 		}
-		c.Outcomes = append(c.Outcomes, out)
-		rngs[i] = rng.Split()
+	}
+	c.Outcomes = make([]*bgp.Outcome, len(plan))
+	perrs := make([]error, len(plan))
+	runPool(workers, len(plan), func(i int) {
+		if err := ctx.Err(); err != nil {
+			perrs[i] = err
+			return
+		}
+		if opts.NoOutcomeCache {
+			out, err := w.Platform.Engine().Propagate(plan[i].Config)
+			if err == nil {
+				c.Outcomes[i] = &out
+			}
+			perrs[i] = err
+		} else {
+			c.Outcomes[i], perrs[i] = w.Platform.Propagate(plan[i].Config)
+		}
+	})
+	for i := range plan {
+		if err := perrs[i]; err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("core: campaign canceled at config %d: %w", i, err)
+			}
+			return nil, fmt.Errorf("core: config %d (%v): %w", i, plan[i].Config, err)
+		}
+		w.Platform.Record(plan[i].Config)
 	}
 
 	if !opts.UseTruth {
 		// Measurement is independent per configuration: fan out.
-		workers := opts.Parallelism
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		if workers > len(plan) {
-			workers = len(plan)
-		}
 		c.Measurements = make([]*measure.CatchmentMeasurement, len(plan))
 		errs := make([]error, len(plan))
 		var done int32
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for k := 0; k < workers; k++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					if ctx.Err() != nil {
-						errs[i] = ctx.Err()
-						continue
-					}
-					m, err := w.MeasureOutcome(c.Outcomes[i], i, rngs[i])
-					c.Measurements[i] = m
-					errs[i] = err
-					if opts.Progress != nil {
-						opts.Progress(int(atomic.AddInt32(&done, 1)), len(plan))
-					}
-				}
-			}()
-		}
-		for i := range plan {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		runPool(workers, len(plan), func(i int) {
+			if ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				return
+			}
+			m, err := w.MeasureOutcome(c.Outcomes[i], i, rngs[i])
+			c.Measurements[i] = m
+			errs[i] = err
+			if opts.Progress != nil {
+				opts.Progress(int(atomic.AddInt32(&done, 1)), len(plan))
+			}
+		})
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: campaign canceled during measurement: %w", err)
 		}
@@ -171,6 +195,33 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 	c.Sources = c.Imputed.Sources
 	c.Catchments = c.Imputed.Catchments
 	return c, nil
+}
+
+// runPool executes fn(0..n-1) across a bounded pool of workers and waits
+// for all of them. fn must write only to its own index's slots.
+func runPool(workers, n int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // NumConfigs returns the number of deployed configurations.

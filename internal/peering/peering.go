@@ -72,10 +72,17 @@ func DefaultConstraints() Constraints {
 // Platform is the origin AS with its muxes, constraint checking, and the
 // simulated experiment clock. It wraps a bgp.Engine: Deploy validates a
 // configuration, charges clock time, and propagates it.
+//
+// Propagation is split from bookkeeping so campaigns can fan
+// configurations out across CPUs: Propagate is safe for concurrent use
+// (and consults the outcome cache), while Record — which advances the
+// simulated clock and the deployment history, both ordered state — must
+// be called sequentially in deployment order.
 type Platform struct {
 	muxes       []Mux
 	constraints Constraints
 	engine      *bgp.Engine
+	cache       *bgp.OutcomeCache // nil when disabled
 
 	elapsed  time.Duration
 	deployed int
@@ -90,6 +97,12 @@ type Options struct {
 	Constraints *Constraints
 	// EngineParams configures the routing engine realism knobs.
 	EngineParams bgp.Params
+	// DisableOutcomeCache turns off outcome memoization: every
+	// Propagate/Deploy re-runs the routing engine even for a
+	// configuration seen before. Outcomes are immutable, so the cache
+	// never changes results — disable it only to bound memory or to
+	// benchmark raw propagation.
+	DisableOutcomeCache bool
 }
 
 // New builds a platform over the topology, binding each mux to a transit
@@ -123,7 +136,11 @@ func New(g *topo.Graph, opts Options) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Platform{muxes: muxes, constraints: cons, engine: engine}, nil
+	p := &Platform{muxes: muxes, constraints: cons, engine: engine}
+	if !opts.DisableOutcomeCache {
+		p.cache = bgp.NewOutcomeCache()
+	}
+	return p, nil
 }
 
 // chooseProviders picks n distinct non-tier-1 transit ASes: the 4n
@@ -244,19 +261,50 @@ func (p *Platform) CheckConstraints(cfg bgp.Config) error {
 	return nil
 }
 
+// Propagate computes the converged routing outcome for the configuration
+// without touching the platform's clock or history. It consults the
+// outcome cache when enabled and is safe for concurrent use.
+func (p *Platform) Propagate(cfg bgp.Config) (*bgp.Outcome, error) {
+	if p.cache != nil {
+		return p.cache.Propagate(p.engine, cfg)
+	}
+	out, err := p.engine.Propagate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Record accounts for one deployment of the configuration: it advances
+// the simulated clock by the configuration duration and appends to the
+// deployment history. Callers that propagate concurrently must call
+// Record sequentially, in deployment order.
+func (p *Platform) Record(cfg bgp.Config) {
+	p.elapsed += p.constraints.ConfigDuration
+	p.deployed++
+	p.history = append(p.history, cfg)
+}
+
+// CacheStats returns the outcome cache's cumulative hit and miss counts
+// (zeros when the cache is disabled).
+func (p *Platform) CacheStats() (hits, misses uint64) {
+	if p.cache == nil {
+		return 0, 0
+	}
+	return p.cache.Stats()
+}
+
 // Deploy validates the configuration, advances the simulated clock by the
 // configuration duration, and returns the converged routing outcome.
 func (p *Platform) Deploy(cfg bgp.Config) (*bgp.Outcome, error) {
 	if err := p.CheckConstraints(cfg); err != nil {
 		return nil, err
 	}
-	out, err := p.engine.Propagate(cfg)
+	out, err := p.Propagate(cfg)
 	if err != nil {
 		return nil, err
 	}
-	p.elapsed += p.constraints.ConfigDuration
-	p.deployed++
-	p.history = append(p.history, cfg)
+	p.Record(cfg)
 	return out, nil
 }
 

@@ -15,6 +15,7 @@ import (
 // can pre-rank configurations and reduce measurement load.
 type Predictor struct {
 	engine *bgp.Engine
+	cache  *bgp.OutcomeCache
 }
 
 // NewPredictor builds a predictor for the origin over the graph.
@@ -25,12 +26,14 @@ func NewPredictor(g *topo.Graph, origin bgp.Origin) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Predictor{engine: eng}, nil
+	return &Predictor{engine: eng, cache: bgp.NewOutcomeCache()}, nil
 }
 
 // Predict returns the predicted catchment vector for a configuration.
+// Predictions are memoized: ranking loops re-evaluate the same
+// candidates across rounds, and the model is deterministic.
 func (p *Predictor) Predict(cfg bgp.Config) ([]bgp.LinkID, error) {
-	out, err := p.engine.Propagate(cfg)
+	out, err := p.cache.Propagate(p.engine, cfg)
 	if err != nil {
 		return nil, err
 	}

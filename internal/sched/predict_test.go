@@ -44,7 +44,7 @@ func targetedWorld(t *testing.T) (*topo.Graph, *bgp.Engine, *bgp.Outcome, []int)
 	for i := range sources {
 		sources[i] = i
 	}
-	return g, e, out, sources
+	return g, e, &out, sources
 }
 
 func TestTargetedPoisonPlanShape(t *testing.T) {

@@ -123,12 +123,22 @@ func (g *Graph) Tier1s() []int {
 
 // Rel returns the relationship of the AS at index j to the AS at index i,
 // i.e., how i sees j. The second return is false if i and j are not
-// adjacent.
+// adjacent. Adjacency lists are sorted by neighbor index (Freeze), so
+// the lookup is a binary search — Rel sits on the BGP engine's export
+// path and high-degree transit ASes made the former linear scan costly.
 func (g *Graph) Rel(i, j int) (Rel, bool) {
-	for _, n := range g.adj[i] {
-		if n.Idx == j {
-			return n.Rel, true
+	adj := g.adj[i]
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid].Idx < j {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(adj) && adj[lo].Idx == j {
+		return adj[lo].Rel, true
 	}
 	return 0, false
 }

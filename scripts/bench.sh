@@ -1,0 +1,53 @@
+#!/bin/sh
+# Benchmark-regression harness: runs the propagation-engine
+# micro-benchmarks (optimized engine, reference implementation,
+# poison-heavy and parallel variants) and the figure benchmarks, then
+# records every result — ns/op, B/op, allocs/op, and the figures' custom
+# metrics — in BENCH_<date>.json for before/after comparison across
+# commits.
+#
+# Environment knobs:
+#   ENGINE_BENCHTIME  -benchtime for the engine micro-benchmarks
+#                     (default 20x; raise for stabler numbers)
+#   FIGURE_BENCHTIME  -benchtime for the paper-figure benchmarks
+#                     (default 1x; each iteration replays a full
+#                     campaign, so keep this low)
+#   BENCH_OUT         output path (default BENCH_<date>.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+DATE=$(date +%F)
+OUT=${BENCH_OUT:-BENCH_${DATE}.json}
+ENGINE_BENCHTIME=${ENGINE_BENCHTIME:-20x}
+FIGURE_BENCHTIME=${FIGURE_BENCHTIME:-1x}
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "==> engine micro-benchmarks (-benchtime $ENGINE_BENCHTIME)"
+go test ./internal/bgp/ -run '^$' -bench 'Propagate' -benchmem \
+	-benchtime "$ENGINE_BENCHTIME" | tee "$TMP"
+
+echo "==> figure benchmarks (-benchtime $FIGURE_BENCHTIME)"
+go test . -run '^$' -bench '.' -benchmem \
+	-benchtime "$FIGURE_BENCHTIME" -timeout 60m | tee -a "$TMP"
+
+awk -v date="$DATE" -v goversion="$(go version | sed 's/"/\\"/g')" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"results\": [\n", date, goversion
+	n = 0
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		printf ", \"%s\": %s", $(i + 1), $i
+	}
+	printf "}"
+}
+END { print "\n  ]\n}" }
+' "$TMP" >"$OUT"
+
+echo "bench: wrote $OUT"

@@ -1,7 +1,9 @@
 #!/bin/sh
 # CI entry point: vet, build, and test the whole module, then run the
-# race detector over the concurrency-heavy packages (streaming pipeline
-# and honeypot).
+# race detector over the concurrency-heavy packages (streaming pipeline,
+# honeypot, parallel campaign deployment, pooled propagation engine),
+# and smoke-test the benchmark harness so a perf regression in the
+# engine fast path cannot land silently broken.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,7 +16,10 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (stream, amp)"
-go test -race ./internal/stream/... ./internal/amp/...
+echo "==> go test -race (stream, amp, core, bgp)"
+go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/...
+
+echo "==> bench smoke (PropagateFullScale, 1 iteration)"
+go test ./internal/bgp/ -run '^$' -bench 'PropagateFullScale' -benchmem -benchtime 1x
 
 echo "ci: all checks passed"
