@@ -10,10 +10,12 @@
 //
 // HTTP endpoints (on -listen):
 //
-//	/status   pipeline snapshot: clusters, per-link rates, top sources
-//	/metrics  expvar-style counters, gauges and histograms
-//	/evidence operator-facing localization evidence for the candidates
-//	/healthz  liveness probe
+//	/status       pipeline snapshot: clusters, per-link rates, top sources
+//	/metrics      expvar-style counters, gauges and histograms
+//	/evidence     operator-facing localization evidence for the candidates
+//	/trace        span journal (?format=chrome for chrome://tracing, json for raw)
+//	/debug/pprof/ standard Go profiling endpoints
+//	/healthz      liveness probe
 //
 // With -attackers > 0 the daemon also runs built-in demo attackers that
 // flood the border with spoofed requests, so a bare
@@ -22,8 +24,9 @@
 //
 // demonstrates the full loop: attack traffic -> streaming attribution
 // -> online reconfiguration -> convergence, observable via /status.
-// Shut down with SIGINT/SIGTERM; the daemon drains the pipeline, writes
-// a final snapshot, and prints the localization outcome.
+// Shut down with SIGINT/SIGTERM; the daemon drains the pipeline (bounded
+// by -shutdown-timeout), writes a final snapshot, and logs the
+// localization outcome.
 package main
 
 import (
@@ -32,9 +35,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -46,6 +50,7 @@ import (
 	"spooftrack/internal/core"
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/stream"
+	"spooftrack/internal/trace"
 )
 
 func main() {
@@ -64,8 +69,32 @@ func main() {
 		snapshotEvery = flag.Duration("snapshot-every", 30*time.Second, "snapshot interval")
 		nAttackers    = flag.Int("attackers", 1, "built-in demo attackers (0 = external traffic only)")
 		pps           = flag.Int("pps", 400, "demo attack packets per second per attacker")
+		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		shutdownTO    = flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain the pipeline on shutdown")
+		traceOn       = flag.Bool("trace", false, "enable structured tracing (serve the journal at /trace)")
+		traceJournal  = flag.Int("trace-journal", 16384, "trace journal capacity (spans)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spooftrackd:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	// Tracing and metrics come up before the offline phase so campaign
+	// deployment itself is captured. The OnEnd bridge feeds every span's
+	// duration into a per-span-name histogram, making trace timings
+	// visible on /metrics without exporting the journal.
+	reg := metrics.NewRegistry()
+	spanObs := metrics.SpanObserver(reg, "trace_span_")
+	tracer := trace.New(trace.Options{
+		Enabled:    *traceOn,
+		JournalCap: *traceJournal,
+		OnEnd:      func(rec trace.SpanRecord) { spanObs(rec.Name, rec.Duration.Seconds()) },
+	})
+	trace.SetGlobal(tracer)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -78,34 +107,50 @@ func main() {
 	params.World.Topo = &tp
 	params.World.MaxPoisonTargets = *poison
 	params.UseTruth = true
-	log.Printf("offline: building world (%d ASes) and measuring campaign catchments...", *ases)
+	slog.Info("offline: building world and measuring campaign catchments", "ases", *ases)
 	tracker, err := spooftrack.NewTracker(params)
 	if err != nil {
-		log.Fatalf("spooftrackd: %v", err)
+		slog.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	camp := tracker.Campaign
-	log.Printf("offline: %d configurations, %d sources, %d links",
-		camp.NumConfigs(), camp.NumSources(), tracker.World.Platform.NumLinks())
+	platform := tracker.World.Platform
+	slog.Info("offline phase complete",
+		"configs", camp.NumConfigs(), "sources", camp.NumSources(), "links", platform.NumLinks())
+
+	// Outcome-cache effectiveness, read on demand at /metrics scrapes.
+	reg.GaugeFunc("bgp_outcome_cache_hits", func() float64 {
+		h, _ := platform.CacheStats()
+		return float64(h)
+	})
+	reg.GaugeFunc("bgp_outcome_cache_misses", func() float64 {
+		_, m := platform.CacheStats()
+		return float64(m)
+	})
+	reg.GaugeFunc("bgp_outcome_cache_size", func() float64 {
+		return float64(platform.CacheSize())
+	})
 
 	// Packet plane on loopback: honeypot behind a border router.
 	hp, err := amp.NewHoneypot("127.0.0.1:0", amp.DefaultHoneypotConfig())
 	if err != nil {
-		log.Fatalf("spooftrackd: honeypot: %v", err)
+		slog.Error("honeypot failed", "err", err)
+		os.Exit(1)
 	}
 	defer hp.Close()
 	border, err := amp.NewBorder("127.0.0.1:0", hp.Addr().(*net.UDPAddr), nil)
 	if err != nil {
-		log.Fatalf("spooftrackd: border: %v", err)
+		slog.Error("border failed", "err", err)
+		os.Exit(1)
 	}
 	defer border.Close()
 
 	// Streaming attribution pipeline, closed onto the border: deploying
 	// a configuration means swapping the live catchment table.
-	reg := metrics.NewRegistry()
 	pipe, err := stream.New(stream.Attribution{
 		Catchments: camp.Catchments,
 		SourceASNs: tracker.SourceASNs(),
-		NumLinks:   tracker.World.Platform.NumLinks(),
+		NumLinks:   platform.NumLinks(),
 	}, stream.Config{
 		Workers:          *workers,
 		EvalInterval:     *evalEvery,
@@ -116,15 +161,127 @@ func main() {
 		Metrics:          reg,
 		Deploy: func(cfgIdx int, table map[uint32]uint8) {
 			border.SetCatchments(table)
-			log.Printf("deploy: configuration %d (%d routed sources)", cfgIdx, len(table))
+			slog.Info("deploy", "config", cfgIdx, "routed_sources", len(table))
 		},
 	})
 	if err != nil {
-		log.Fatalf("spooftrackd: pipeline: %v", err)
+		slog.Error("pipeline failed", "err", err)
+		os.Exit(1)
 	}
 	hp.SetTap(func(ev amp.Event) { pipe.Ingest(ev) })
 
-	// HTTP surface.
+	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer)}
+	httpErr := make(chan error, 1)
+	go func() {
+		slog.Info("http listening", "addr", *listen,
+			"endpoints", "/status /metrics /evidence /trace /debug/pprof/ /healthz")
+		httpErr <- srv.ListenAndServe()
+	}()
+	slog.Info("packet plane up: point spoofed traffic at the border",
+		"honeypot", hp.Addr().String(), "border", border.Addr().String())
+
+	// Periodic dataset snapshot of the configurations deployed so far.
+	var snapWG chan struct{}
+	if *snapshotPath != "" {
+		snapWG = make(chan struct{})
+		go func() {
+			defer close(snapWG)
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
+						slog.Warn("snapshot failed", "err", err)
+					}
+				}
+			}
+		}()
+	}
+
+	// Demo traffic: spoofing attackers flooding the border until the
+	// daemon shuts down.
+	attackers := startAttackers(ctx, tracker, border.Addr(), *nAttackers, *pps)
+
+	<-ctx.Done()
+	slog.Info("shutting down: draining pipeline", "timeout", *shutdownTO)
+
+	// Graceful order: stop producers, detach the tap, then drain the
+	// pipeline so every accepted event is folded before reporting. The
+	// drain is bounded: if it exceeds -shutdown-timeout (e.g. a wedged
+	// consumer), the daemon reports the failure and exits anyway rather
+	// than hanging the supervisor.
+	drainStart := time.Now()
+	drained := make(chan struct{})
+	go func() {
+		<-attackers
+		hp.SetTap(nil)
+		pipe.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		slog.Info("pipeline drained", "took", time.Since(drainStart).Round(time.Millisecond))
+	case <-time.After(*shutdownTO):
+		slog.Warn("pipeline drain timed out; exiting with events unflushed", "timeout", *shutdownTO)
+	}
+
+	if *snapshotPath != "" {
+		<-snapWG
+		if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
+			slog.Warn("final snapshot failed", "err", err)
+		} else {
+			slog.Info("final snapshot written", "path", *snapshotPath)
+		}
+	}
+
+	st := pipe.Status(5)
+	slog.Info("final state", "events", st.TotalEvents, "rounds", st.Rounds,
+		"reconfigs", st.Reconfigurations, "converged", st.Converged)
+	if rep, err := pipe.Evidence(); err == nil && st.Rounds > 0 {
+		const maxPrint = 10
+		for i, c := range rep.Candidates {
+			if i == maxPrint {
+				slog.Info("more candidates elided; see /evidence", "remaining", len(rep.Candidates)-maxPrint)
+				break
+			}
+			slog.Info("candidate", "asn", c.ASN, "mean_volume_share", c.MeanVolumeShare,
+				"configs_with_traffic", c.ConfigsWithTraffic, "configs_observed", c.ConfigsObserved,
+				"cluster_size", c.ClusterSize)
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+	if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		slog.Warn("http server error", "err", err)
+	}
+}
+
+// newLogger builds the daemon's slog logger at the requested level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// newMux assembles the daemon's HTTP surface: pipeline introspection,
+// metrics, the trace journal, and the standard pprof endpoints.
+func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, pipe.Status(10))
@@ -142,81 +299,28 @@ func main() {
 		}
 		writeJSON(w, rep)
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="spooftrackd-trace.json"`)
+			_ = tr.WriteChromeTrace(w)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = tr.WriteJSON(w)
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want chrome or json)", format), http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	srv := &http.Server{Addr: *listen, Handler: mux}
-	httpErr := make(chan error, 1)
-	go func() {
-		log.Printf("listening on http://%s (/status /metrics /evidence /healthz)", *listen)
-		httpErr <- srv.ListenAndServe()
-	}()
-	log.Printf("honeypot %v, border %v: point spoofed traffic at the border", hp.Addr(), border.Addr())
-
-	// Periodic dataset snapshot of the configurations deployed so far.
-	var snapWG chan struct{}
-	if *snapshotPath != "" {
-		snapWG = make(chan struct{})
-		go func() {
-			defer close(snapWG)
-			t := time.NewTicker(*snapshotEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
-						log.Printf("snapshot: %v", err)
-					}
-				}
-			}
-		}()
-	}
-
-	// Demo traffic: spoofing attackers flooding the border until the
-	// daemon shuts down.
-	attackers := startAttackers(ctx, tracker, border.Addr(), *nAttackers, *pps)
-
-	<-ctx.Done()
-	log.Printf("shutting down: draining pipeline...")
-
-	// Graceful order: stop producers, detach the tap, then drain the
-	// pipeline so every accepted event is folded before reporting.
-	<-attackers
-	hp.SetTap(nil)
-	pipe.Close()
-
-	if *snapshotPath != "" {
-		<-snapWG
-		if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
-			log.Printf("final snapshot: %v", err)
-		} else {
-			log.Printf("final snapshot written to %s", *snapshotPath)
-		}
-	}
-
-	st := pipe.Status(5)
-	log.Printf("processed %d events over %d rounds, %d reconfigurations, converged=%v",
-		st.TotalEvents, st.Rounds, st.Reconfigurations, st.Converged)
-	if rep, err := pipe.Evidence(); err == nil && st.Rounds > 0 {
-		const maxPrint = 10
-		for i, c := range rep.Candidates {
-			if i == maxPrint {
-				log.Printf("... and %d more candidates (see /evidence)", len(rep.Candidates)-maxPrint)
-				break
-			}
-			log.Printf("candidate AS%d: mean volume share %.2f, traffic in %d of %d configurations (cluster size %d)",
-				c.ASN, c.MeanVolumeShare, c.ConfigsWithTraffic, c.ConfigsObserved, c.ClusterSize)
-		}
-	}
-
-	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	_ = srv.Shutdown(shutCtx)
-	if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("http: %v", err)
-	}
+	return mux
 }
 
 // startAttackers launches n demo attackers spoofing from randomly
@@ -241,11 +345,11 @@ func startAttackers(ctx context.Context, tracker *spooftrack.Tracker, borderAddr
 			k := rng.Intn(len(asns))
 			a, err := amp.NewAttacker(uint32(asns[k]), victim)
 			if err != nil {
-				log.Printf("attacker: %v", err)
+				slog.Warn("attacker failed", "err", err)
 				continue
 			}
 			defer a.Close()
-			log.Printf("demo attacker %d spoofing from AS%d (source %d)", i+1, asns[k], k)
+			slog.Info("demo attacker spoofing", "attacker", i+1, "asn", asns[k], "source", k)
 			go func(a *amp.Attacker) {
 				t := time.NewTicker(50 * time.Millisecond)
 				defer t.Stop()

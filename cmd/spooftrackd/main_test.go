@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/metrics"
+	"spooftrack/internal/stream"
+	"spooftrack/internal/topo"
+	"spooftrack/internal/trace"
+)
+
+// testMux builds the daemon's HTTP surface over a tiny two-source
+// pipeline, without a packet plane.
+func testMux(t *testing.T) *http.ServeMux {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	pipe, err := stream.New(stream.Attribution{
+		Catchments: [][]bgp.LinkID{{0, 1}, {0, bgp.NoLink}},
+		SourceASNs: []topo.ASN{64500, 64501},
+		NumLinks:   2,
+	}, stream.Config{Workers: 1, Metrics: reg})
+	if err != nil {
+		t.Fatalf("stream.New: %v", err)
+	}
+	t.Cleanup(pipe.Close)
+	tr := trace.New(trace.Options{Enabled: true, JournalCap: 64})
+	sp := tr.Start("test.root")
+	sp.End()
+	return newMux(pipe, reg, tr)
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read %s body: %v", path, err)
+	}
+	return res, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	res, body := get(t, testMux(t), "/healthz")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: status %d body %q", res.StatusCode, body)
+	}
+}
+
+func TestStatusDecodes(t *testing.T) {
+	res, body := get(t, testMux(t), "/status")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", res.StatusCode)
+	}
+	var st struct {
+		Candidates int `json:"candidates"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status is not JSON: %v\n%s", err, body)
+	}
+	if st.Candidates != 2 {
+		t.Fatalf("candidates = %d, want 2 (no rounds folded)", st.Candidates)
+	}
+}
+
+func TestMetricsListsPipelineCounters(t *testing.T) {
+	res, body := get(t, testMux(t), "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics is not JSON: %v\n%s", err, body)
+	}
+	if _, ok := snap["stream_events_total"]; !ok {
+		t.Fatalf("metrics missing stream_events_total:\n%s", body)
+	}
+}
+
+func TestEvidenceConflictsBeforeFirstRound(t *testing.T) {
+	res, _ := get(t, testMux(t), "/evidence")
+	if res.StatusCode != http.StatusConflict {
+		t.Fatalf("evidence with no rounds: status %d, want %d", res.StatusCode, http.StatusConflict)
+	}
+}
+
+func TestTraceChromeFormat(t *testing.T) {
+	mux := testMux(t)
+	for _, path := range []string{"/trace", "/trace?format=chrome"} {
+		res, body := get(t, mux, path)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, res.StatusCode)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string `json:"name"`
+				Ph   string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s is not JSON: %v\n%s", path, err, body)
+		}
+		found := false
+		for _, ev := range doc.TraceEvents {
+			if ev.Name == "test.root" && ev.Ph == "X" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s missing test.root X event:\n%s", path, body)
+		}
+	}
+}
+
+func TestTraceJSONFormat(t *testing.T) {
+	res, body := get(t, testMux(t), "/trace?format=json")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("trace json: status %d", res.StatusCode)
+	}
+	var doc struct {
+		Spans []struct {
+			Name  string `json:"name"`
+			Start string `json:"start"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace json: %v\n%s", err, body)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "test.root" {
+		t.Fatalf("trace json spans = %+v, want one test.root", doc.Spans)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, doc.Spans[0].Start); err != nil {
+		t.Fatalf("trace json start timestamp: %v", err)
+	}
+}
+
+func TestTraceBadFormat(t *testing.T) {
+	res, _ := get(t, testMux(t), "/trace?format=bogus")
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trace bogus format: status %d, want %d", res.StatusCode, http.StatusBadRequest)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	mux := testMux(t)
+	res, body := get(t, mux, "/debug/pprof/")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d", res.StatusCode)
+	}
+	res, _ = get(t, mux, "/debug/pprof/cmdline")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", res.StatusCode)
+	}
+	res, _ = get(t, mux, "/debug/pprof/symbol")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("pprof symbol: status %d", res.StatusCode)
+	}
+}
+
+func TestLogLevelParsing(t *testing.T) {
+	for _, lv := range []string{"debug", "info", "warn", "error"} {
+		if _, err := newLogger(lv); err != nil {
+			t.Fatalf("newLogger(%q): %v", lv, err)
+		}
+	}
+	if _, err := newLogger("verbose"); err == nil {
+		t.Fatal("newLogger(verbose) should fail")
+	}
+}

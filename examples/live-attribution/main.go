@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -21,11 +22,22 @@ import (
 	"spooftrack/internal/amp"
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/stream"
+	"spooftrack/internal/trace"
 )
 
 func main() {
+	tracePath := flag.String("trace", "live-attribution-trace.json",
+		"write a Chrome trace of the run here (open in chrome://tracing or ui.perfetto.dev; empty = off)")
+	flag.Parse()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// Tracing goes global before the tracker is built so the offline
+	// campaign (deploy/measure spans) lands in the journal too.
+	if *tracePath != "" {
+		trace.SetGlobal(trace.New(trace.Options{Enabled: true, JournalCap: 65536}))
+	}
 
 	// Offline phase: measure catchments for the whole campaign before
 	// any attack (UseTruth keeps the example fast).
@@ -120,5 +132,26 @@ func main() {
 		}
 		fmt.Printf("candidate AS%d: cluster size %d, traffic in %d of %d configurations%s\n",
 			c.ASN, c.ClusterSize, c.ConfigsWithTraffic, c.ConfigsObserved, marker)
+	}
+
+	if *tracePath != "" {
+		// Close the packet plane first so the serve-loop spans (which end
+		// on socket close) make it into the journal. The deferred Closes
+		// become no-ops.
+		border.Close()
+		hp.Close()
+		tr := trace.Global()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d spans to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			len(tr.Snapshot()), *tracePath)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"spooftrack/internal/trace"
 )
 
 // Border is the origin network's edge: it receives attack traffic,
@@ -96,6 +98,10 @@ func (b *Border) Close() error {
 
 func (b *Border) serve() {
 	defer b.wg.Done()
+	// One span covers the serve loop's lifetime; per-packet outcomes are
+	// its counters (drop/filter/forward and tap fan-out).
+	sp := trace.Start("amp.border.serve")
+	defer sp.End()
 	buf := make([]byte, 2048)
 	for {
 		n, _, err := b.conn.ReadFrom(buf)
@@ -115,12 +121,14 @@ func (b *Border) serve() {
 		tap := b.tap
 		b.mu.Unlock()
 		if !ok {
+			sp.Count("dropped", 1)
 			continue
 		}
 		if filter != nil && filter(pkt) {
 			b.mu.Lock()
 			b.filtered++
 			b.mu.Unlock()
+			sp.Count("filtered", 1)
 			continue
 		}
 		pkt.IngressLink = link
@@ -132,7 +140,9 @@ func (b *Border) serve() {
 				SpoofedSrc:  pkt.SpoofedSrc,
 				WireLen:     n,
 			})
+			sp.Count("tap_events", 1)
 		}
+		sp.Count("forwarded", 1)
 		if data, err := pkt.Marshal(); err == nil {
 			_, _ = b.conn.WriteTo(data, b.upstream)
 		}

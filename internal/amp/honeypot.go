@@ -6,6 +6,8 @@ import (
 	"net/netip"
 	"sync"
 	"time"
+
+	"spooftrack/internal/trace"
 )
 
 // HoneypotConfig tunes the honeypot's emulated amplification service.
@@ -100,6 +102,10 @@ func (h *Honeypot) Close() error {
 
 func (h *Honeypot) serve() {
 	defer h.wg.Done()
+	// One span covers the serve loop's lifetime; per-request outcomes are
+	// its counters (malformed/accepted/reflected and tap fan-out).
+	sp := trace.Start("amp.honeypot.serve")
+	defer sp.End()
 	buf := make([]byte, 2048)
 	for {
 		n, _, err := h.conn.ReadFrom(buf)
@@ -111,13 +117,14 @@ func (h *Honeypot) serve() {
 			h.mu.Lock()
 			h.malformed++
 			h.mu.Unlock()
+			sp.Count("malformed", 1)
 			continue
 		}
-		h.handleRequest(pkt, n)
+		h.handleRequest(pkt, n, sp)
 	}
 }
 
-func (h *Honeypot) handleRequest(pkt *Packet, wireLen int) {
+func (h *Honeypot) handleRequest(pkt *Packet, wireLen int, sp *trace.Span) {
 	// Protocol emulation mode: recognize the request first.
 	var svc Service
 	if len(h.cfg.Services) > 0 {
@@ -127,9 +134,11 @@ func (h *Honeypot) handleRequest(pkt *Packet, wireLen int) {
 			h.mu.Lock()
 			h.malformed++
 			h.mu.Unlock()
+			sp.Count("malformed", 1)
 			return
 		}
 	}
+	sp.Count("accepted", 1)
 
 	h.mu.Lock()
 	ls, ok := h.byLink[pkt.IngressLink]
@@ -158,6 +167,7 @@ func (h *Honeypot) handleRequest(pkt *Packet, wireLen int) {
 			ev.Service = svc.Name()
 		}
 		tap(ev)
+		sp.Count("tap_events", 1)
 	}
 
 	if !allowed || h.cfg.Reflect == nil {
@@ -185,6 +195,7 @@ func (h *Honeypot) handleRequest(pkt *Packet, wireLen int) {
 			h.mu.Lock()
 			h.reflected++
 			h.mu.Unlock()
+			sp.Count("reflected", 1)
 		}
 	}
 }

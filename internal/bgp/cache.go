@@ -1,6 +1,10 @@
 package bgp
 
-import "sync"
+import (
+	"sync"
+
+	"spooftrack/internal/trace"
+)
 
 // OutcomeCache memoizes propagation outcomes by canonical configuration
 // key (Config.Key). Outcomes are immutable, so cache hits return the
@@ -20,6 +24,15 @@ type OutcomeCache struct {
 	misses uint64
 }
 
+// CacheStats is a point-in-time view of a cache's effectiveness:
+// cumulative hit and miss counts plus the current number of memoized
+// outcomes. Exposed through the metrics registry by cmd/spooftrackd.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+	Size   int
+}
+
 // NewOutcomeCache returns an empty cache.
 func NewOutcomeCache() *OutcomeCache {
 	return &OutcomeCache{m: make(map[string]*Outcome)}
@@ -30,27 +43,57 @@ func NewOutcomeCache() *OutcomeCache {
 // concurrent use; on a race, the first stored outcome wins so pointer
 // identity stays stable.
 func (c *OutcomeCache) Propagate(e *Engine, cfg Config) (*Outcome, error) {
+	return c.PropagateTraced(e, cfg, nil)
+}
+
+// PropagateTraced is Propagate with trace-span parentage: the lookup's
+// "bgp.cache" span (carrying hit/miss counters and the cache size)
+// nests under parent, and on a miss the engine's propagation span nests
+// under the lookup. With tracing disabled this costs a few atomic loads
+// over Propagate.
+func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span) (*Outcome, error) {
+	sp := trace.StartChild(parent, "bgp.cache")
 	key := cfg.Key()
 	c.mu.Lock()
 	if out, ok := c.m[key]; ok {
 		c.hits++
+		size := len(c.m)
 		c.mu.Unlock()
+		c.endSpan(sp, 1, 0, size)
 		return out, nil
 	}
 	c.mu.Unlock()
-	out, err := e.Propagate(cfg)
+	out, err := e.PropagateTraced(cfg, sp)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if prior, ok := c.m[key]; ok {
 		c.hits++
+		size := len(c.m)
+		c.mu.Unlock()
+		c.endSpan(sp, 1, 0, size)
 		return prior, nil
 	}
 	c.misses++
 	c.m[key] = &out
+	size := len(c.m)
+	c.mu.Unlock()
+	c.endSpan(sp, 0, 1, size)
 	return &out, nil
+}
+
+// endSpan stamps a lookup span with its hit/miss outcome and the cache
+// size at resolution time.
+func (c *OutcomeCache) endSpan(sp *trace.Span, hit, miss int64, size int) {
+	if sp == nil {
+		return
+	}
+	sp.Count("hit", hit)
+	sp.Count("miss", miss)
+	sp.Set(trace.Int("size", int64(size)))
+	sp.End()
 }
 
 // Stats returns the cumulative hit and miss counts.
@@ -58,6 +101,14 @@ func (c *OutcomeCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// StatsSnapshot returns hit, miss, and size counters in one consistent
+// read — the shape the metrics registry's gauge functions consume.
+func (c *OutcomeCache) StatsSnapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.m)}
 }
 
 // Len returns the number of cached outcomes.

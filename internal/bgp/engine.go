@@ -7,6 +7,7 @@ import (
 
 	"spooftrack/internal/stats"
 	"spooftrack/internal/topo"
+	"spooftrack/internal/trace"
 )
 
 // Params configures the realism knobs of the routing engine.
@@ -247,9 +248,21 @@ const maxEventsPerAS = 64
 // heap allocation (the selection array the Outcome owns); all other
 // working state is recycled through the engine's scratch pool.
 func (e *Engine) Propagate(cfg Config) (Outcome, error) {
+	return e.PropagateTraced(cfg, nil)
+}
+
+// PropagateTraced is Propagate with trace-span parentage: when tracing
+// is enabled the propagation's "bgp.propagate" span nests under parent
+// (or starts a root span when parent is nil). With tracing disabled the
+// only overhead over Propagate is a few atomic loads and one dead
+// branch per processed event — the budget BenchmarkPropagateTraced
+// enforces.
+func (e *Engine) PropagateTraced(cfg Config, parent *trace.Span) (Outcome, error) {
 	if err := cfg.Validate(e.origin); err != nil {
 		return Outcome{}, err
 	}
+	sp := trace.StartChild(parent, "bgp.propagate")
+	traced := sp != nil
 	n := e.g.NumASes()
 	out := Outcome{engine: e, cfg: cfg, sel: make([]selection, n), converged: true}
 	sel := out.sel
@@ -282,8 +295,12 @@ func (e *Engine) Propagate(cfg Config) (Outcome, error) {
 	// Sequential processing plus chainInfo's loop check maintains the
 	// invariant that next-hop chains are always acyclic.
 	events := 0
+	highWater := 0
 	budget := maxEventsPerAS * n
 	for s.qlen > 0 {
+		if traced && s.qlen > highWater {
+			highWater = s.qlen
+		}
 		i := s.popQueue()
 		s.queued[i] = false
 		events++
@@ -291,6 +308,9 @@ func (e *Engine) Propagate(cfg Config) (Outcome, error) {
 			// Policy dispute wheels can prevent convergence, as in real
 			// BGP; freeze the current (deterministic) state and report.
 			out.converged = false
+			if traced {
+				e.endPropagateSpan(sp, &out, cfg, s, events, highWater)
+			}
 			return out, nil
 		}
 		s.epoch++
@@ -367,7 +387,28 @@ func (e *Engine) Propagate(cfg Config) (Outcome, error) {
 			}
 		}
 	}
+	if traced {
+		e.endPropagateSpan(sp, &out, cfg, s, events, highWater)
+	}
 	return out, nil
+}
+
+// endPropagateSpan attaches the propagation's introspection counters to
+// its span and ends it: events processed, the ring queue's high-water
+// mark, whether this run reset the chain-memo epoch stamps (a fresh,
+// never-pooled scratch), and the converged/size attributes.
+func (e *Engine) endPropagateSpan(sp *trace.Span, out *Outcome, cfg Config, s *propScratch, events, highWater int) {
+	sp.Count("events", int64(events))
+	sp.Count("queue_high_water", int64(highWater))
+	if s.fresh {
+		sp.Count("epoch_resets", 1)
+	}
+	sp.Set(
+		trace.Int("ases", int64(e.g.NumASes())),
+		trace.Int("anns", int64(len(cfg.Anns))),
+		trace.Bool("converged", out.converged),
+	)
+	sp.End()
 }
 
 // offerFrom computes the route neighbor nb (as seen from receiver i)

@@ -43,6 +43,11 @@ type propScratch struct {
 	// selection, which guarantees they were written this propagation.
 	sendClass []int8
 
+	// fresh marks a scratch that has never been through the pool: its
+	// epoch stamps start from zero (an "epoch reset" in trace terms).
+	// Cleared on first release.
+	fresh bool
+
 	// poisonRows holds dense per-announcement poison membership arrays
 	// (each sized NumASes). Rows are handed out by buildCtx and cleared
 	// sparsely (by walking the announcement's poison list) on release.
@@ -83,6 +88,7 @@ func newPropScratch(n int) *propScratch {
 		chainT1:   make([]bool, n),
 		sendClass: make([]int8, n),
 		direct:    make([]bool, n),
+		fresh:     true,
 	}
 }
 
@@ -200,6 +206,7 @@ func (e *Engine) putScratch(s *propScratch, cfg Config) {
 		s.ctx.poisoned[ai] = nil
 	}
 	s.ctx.comm = communityTables{}
+	s.fresh = false
 	e.scratch.Put(s)
 }
 

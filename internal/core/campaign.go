@@ -13,6 +13,7 @@ import (
 	"spooftrack/internal/measure"
 	"spooftrack/internal/sched"
 	"spooftrack/internal/stats"
+	"spooftrack/internal/trace"
 )
 
 // CampaignOptions tunes a campaign run.
@@ -91,6 +92,19 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		workers = len(plan)
 	}
 
+	// Root span for the whole campaign; every phase below nests under it.
+	// Tracing never changes results: RNG splitting, deployment order, and
+	// the simulated clock are identical with the tracer on or off.
+	csp := trace.Start("core.campaign")
+	defer csp.End()
+	if csp != nil {
+		csp.Set(
+			trace.Int("configs", int64(len(plan))),
+			trace.Int("workers", int64(workers)),
+			trace.Bool("use_truth", opts.UseTruth),
+		)
+	}
+
 	// Per-config RNGs split in plan order up front, so downstream results
 	// do not depend on execution parallelism.
 	rngs := make([]*stats.RNG, len(plan))
@@ -113,20 +127,31 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 	}
 	c.Outcomes = make([]*bgp.Outcome, len(plan))
 	perrs := make([]error, len(plan))
-	runPool(workers, len(plan), func(i int) {
+	deployStart := time.Now()
+	runPoolSpans(csp, "campaign.deploy.worker", workers, len(plan), func(i int, wsp *trace.Span) {
 		if err := ctx.Err(); err != nil {
 			perrs[i] = err
 			return
 		}
+		var dsp *trace.Span
+		if wsp != nil {
+			// All indices are enqueued at phase start, so pickup time
+			// relative to deployStart is exactly this config's wait in the
+			// worker-pool queue.
+			dsp = wsp.Child("campaign.deploy")
+			dsp.Count("queue_wait_ns", time.Since(deployStart).Nanoseconds())
+			dsp.Set(trace.String("config", plan[i].Config.Key()))
+		}
 		if opts.NoOutcomeCache {
-			out, err := w.Platform.Engine().Propagate(plan[i].Config)
+			out, err := w.Platform.Engine().PropagateTraced(plan[i].Config, dsp)
 			if err == nil {
 				c.Outcomes[i] = &out
 			}
 			perrs[i] = err
 		} else {
-			c.Outcomes[i], perrs[i] = w.Platform.Propagate(plan[i].Config)
+			c.Outcomes[i], perrs[i] = w.Platform.PropagateTraced(plan[i].Config, dsp)
 		}
+		dsp.End()
 	})
 	for i := range plan {
 		if err := perrs[i]; err != nil {
@@ -135,7 +160,7 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 			}
 			return nil, fmt.Errorf("core: config %d (%v): %w", i, plan[i].Config, err)
 		}
-		w.Platform.Record(plan[i].Config)
+		w.Platform.RecordTraced(plan[i].Config, csp)
 	}
 
 	if !opts.UseTruth {
@@ -143,12 +168,18 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		c.Measurements = make([]*measure.CatchmentMeasurement, len(plan))
 		errs := make([]error, len(plan))
 		var done int32
-		runPool(workers, len(plan), func(i int) {
+		runPoolSpans(csp, "campaign.measure.worker", workers, len(plan), func(i int, wsp *trace.Span) {
 			if ctx.Err() != nil {
 				errs[i] = ctx.Err()
 				return
 			}
+			var msp *trace.Span
+			if wsp != nil {
+				msp = wsp.Child("campaign.measure")
+				msp.Set(trace.Int("config", int64(i)))
+			}
 			m, err := w.MeasureOutcome(c.Outcomes[i], i, rngs[i])
+			msp.End()
 			c.Measurements[i] = m
 			errs[i] = err
 			if opts.Progress != nil {
@@ -200,27 +231,43 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 // runPool executes fn(0..n-1) across a bounded pool of workers and waits
 // for all of them. fn must write only to its own index's slots.
 func runPool(workers, n int, fn func(i int)) {
+	runPoolSpans(nil, "", workers, n, func(i int, _ *trace.Span) { fn(i) })
+}
+
+// runPoolSpans is runPool with per-worker trace spans: when parent is a
+// live span, each worker goroutine gets its own child span on a fresh
+// track (so concurrent work renders as parallel flame-chart rows) and
+// passes it to fn. The sequential path hands fn the parent itself. The
+// work queue is pre-filled before any worker starts, so time-of-pickup
+// minus phase start is a config's queue wait. fn must write only to its
+// own index's slots.
+func runPoolSpans(parent *trace.Span, workerName string, workers, n int, fn func(i int, wsp *trace.Span)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, parent)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
+	next := make(chan int, n)
 	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var wsp *trace.Span
+			if parent != nil {
+				wsp = parent.ChildTrack(workerName)
+				defer wsp.End()
+			}
+			for i := range next {
+				fn(i, wsp)
+			}
+		}()
+	}
 	wg.Wait()
 }
 

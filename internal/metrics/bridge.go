@@ -1,0 +1,29 @@
+package metrics
+
+import "strings"
+
+// durationBuckets spans microseconds to minutes — wide enough for both
+// a cache lookup span and a whole-campaign span.
+var durationBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30, 120, 600,
+}
+
+// SpanObserver returns a callback that records span durations into
+// per-span-name histograms in r — the trace→metrics bridge. Wire it as
+// trace.Options.OnEnd via a closure:
+//
+//	obs := metrics.SpanObserver(reg, "trace_span_")
+//	tr := trace.New(trace.Options{OnEnd: func(rec trace.SpanRecord) {
+//	    obs(rec.Name, rec.Duration.Seconds())
+//	}})
+//
+// Span names are sanitized (dots become underscores) so "bgp.propagate"
+// lands in "trace_span_bgp_propagate_seconds". The returned func is safe
+// for concurrent use; the histogram lookup goes through the registry's
+// get-or-create path, which is cheap after first registration.
+func SpanObserver(r *Registry, prefix string) func(name string, seconds float64) {
+	return func(name string, seconds float64) {
+		metric := prefix + strings.ReplaceAll(name, ".", "_") + "_seconds"
+		r.Histogram(metric, durationBuckets...).Observe(seconds)
+	}
+}

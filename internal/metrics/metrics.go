@@ -50,6 +50,8 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is overflow
 	count  atomic.Int64
 	sumBig atomic.Uint64 // float64 bits, CAS-accumulated
+	minBig atomic.Uint64 // float64 bits, CAS-lowered; +Inf until first sample
+	maxBig atomic.Uint64 // float64 bits, CAS-raised; -Inf until first sample
 }
 
 // NewHistogram builds a histogram with the given ascending upper
@@ -61,10 +63,13 @@ func NewHistogram(bounds []float64) *Histogram {
 	if !sort.Float64sAreSorted(bounds) {
 		panic("metrics: histogram bounds must be ascending")
 	}
-	return &Histogram{
+	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]atomic.Int64, len(bounds)+1),
 	}
+	h.minBig.Store(math.Float64bits(math.Inf(1)))
+	h.maxBig.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // DefBuckets is a decade-spanning default (powers of ~3 from 1e-5 up),
@@ -80,6 +85,18 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
+		old := h.minBig.Load()
+		if v >= math.Float64frombits(old) || h.minBig.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBig.Load()
+		if v <= math.Float64frombits(old) || h.maxBig.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
 		old := h.sumBig.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBig.CompareAndSwap(old, nv) {
@@ -93,6 +110,22 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the total of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBig.Load()) }
+
+// Min returns the smallest observation (0 with no samples).
+func (h *Histogram) Min() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBig.Load())
+}
+
+// Max returns the largest observation (0 with no samples).
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBig.Load())
+}
 
 // Mean returns the average observation (0 with no samples).
 func (h *Histogram) Mean() float64 {
@@ -135,8 +168,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// snapshot is the histogram's export shape.
-func (h *Histogram) snapshot() map[string]any {
+// HistogramSnapshot is a point-in-time view of a histogram, the shape
+// exporters marshal. Grabbing it is lock-free (each field is an atomic
+// read), so export paths can take snapshots without stalling observers.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Mean    float64          `json:"mean"`
+	P50     float64          `json:"p50"`
+	P99     float64          `json:"p99"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
 	buckets := make(map[string]int64, len(h.counts))
 	for i := range h.counts {
 		if n := h.counts[i].Load(); n > 0 {
@@ -147,13 +194,15 @@ func (h *Histogram) snapshot() map[string]any {
 			buckets[key] = n
 		}
 	}
-	return map[string]any{
-		"count":   h.Count(),
-		"sum":     h.Sum(),
-		"mean":    h.Mean(),
-		"p50":     h.Quantile(0.50),
-		"p99":     h.Quantile(0.99),
-		"buckets": buckets,
+	return HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Min:     h.Min(),
+		Max:     h.Max(),
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.50),
+		P99:     h.Quantile(0.99),
+		Buckets: buckets,
 	}
 }
 
@@ -188,6 +237,23 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return register(r, name, func() *Histogram { return NewHistogram(bounds) })
 }
 
+// GaugeFunc is a gauge whose value is computed on demand — for state
+// owned elsewhere (cache sizes, pool depths) that would be stale as a
+// stored Gauge. fn must be safe for concurrent use.
+type GaugeFunc struct {
+	fn func() float64
+}
+
+// Value evaluates the gauge.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+// GaugeFunc registers a computed gauge under name. The function bound on
+// first registration wins; later calls with the same name return the
+// existing gauge unchanged.
+func (r *Registry) GaugeFunc(name string, fn func() float64) *GaugeFunc {
+	return register(r, name, func() *GaugeFunc { return &GaugeFunc{fn: fn} })
+}
+
 func register[T any](r *Registry, name string, mk func() T) T {
 	r.mu.RLock()
 	v, ok := r.vars[name]
@@ -215,19 +281,29 @@ func register[T any](r *Registry, name string, mk func() T) T {
 }
 
 // Snapshot returns every metric's current value, keyed by name:
-// counters as int64, gauges as float64, histograms as nested maps.
+// counters as int64, gauges as float64, histograms as HistogramSnapshot
+// values. The registry lock is held only to copy the variable table;
+// values (including histogram traversal and GaugeFunc evaluation) are
+// read afterwards, so a slow gauge function or a wide histogram cannot
+// stall registrations.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make(map[string]any, len(r.vars))
+	vars := make(map[string]any, len(r.vars))
 	for name, v := range r.vars {
+		vars[name] = v
+	}
+	r.mu.RUnlock()
+	out := make(map[string]any, len(vars))
+	for name, v := range vars {
 		switch m := v.(type) {
 		case *Counter:
 			out[name] = m.Value()
 		case *Gauge:
 			out[name] = m.Value()
+		case *GaugeFunc:
+			out[name] = m.Value()
 		case *Histogram:
-			out[name] = m.snapshot()
+			out[name] = m.Snapshot()
 		}
 	}
 	return out

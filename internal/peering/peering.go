@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"spooftrack/internal/bgp"
+	"spooftrack/internal/stats"
 	"spooftrack/internal/topo"
+	"spooftrack/internal/trace"
 )
 
 // PEERINGASN is the platform's AS number, used as the origin ASN and as
@@ -84,9 +86,15 @@ type Platform struct {
 	engine      *bgp.Engine
 	cache       *bgp.OutcomeCache // nil when disabled
 
-	elapsed  time.Duration
-	deployed int
-	history  []bgp.Config
+	// conv models per-deployment BGP convergence delay; convRNG drives
+	// its sampling. Both belong to the sequential Record path.
+	conv    ConvergenceModel
+	convRNG *stats.RNG
+
+	elapsed   time.Duration
+	converged time.Duration
+	deployed  int
+	history   []bgp.Config
 }
 
 // Options configures platform construction.
@@ -136,7 +144,13 @@ func New(g *topo.Graph, opts Options) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Platform{muxes: muxes, constraints: cons, engine: engine}
+	p := &Platform{
+		muxes:       muxes,
+		constraints: cons,
+		engine:      engine,
+		conv:        DefaultConvergenceModel(),
+		convRNG:     stats.NewRNG(opts.EngineParams.Seed ^ 0xc09e4ce5ead),
+	}
 	if !opts.DisableOutcomeCache {
 		p.cache = bgp.NewOutcomeCache()
 	}
@@ -265,10 +279,17 @@ func (p *Platform) CheckConstraints(cfg bgp.Config) error {
 // without touching the platform's clock or history. It consults the
 // outcome cache when enabled and is safe for concurrent use.
 func (p *Platform) Propagate(cfg bgp.Config) (*bgp.Outcome, error) {
+	return p.PropagateTraced(cfg, nil)
+}
+
+// PropagateTraced is Propagate with trace-span parentage: the cache
+// lookup (or raw propagation) span nests under parent. With tracing
+// disabled the extra cost is a few atomic loads.
+func (p *Platform) PropagateTraced(cfg bgp.Config, parent *trace.Span) (*bgp.Outcome, error) {
 	if p.cache != nil {
-		return p.cache.Propagate(p.engine, cfg)
+		return p.cache.PropagateTraced(p.engine, cfg, parent)
 	}
-	out, err := p.engine.Propagate(cfg)
+	out, err := p.engine.PropagateTraced(cfg, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -276,13 +297,34 @@ func (p *Platform) Propagate(cfg bgp.Config) (*bgp.Outcome, error) {
 }
 
 // Record accounts for one deployment of the configuration: it advances
-// the simulated clock by the configuration duration and appends to the
+// the simulated clock by the configuration duration, samples a
+// convergence delay from the platform's model, and appends to the
 // deployment history. Callers that propagate concurrently must call
 // Record sequentially, in deployment order.
 func (p *Platform) Record(cfg bgp.Config) {
+	p.RecordTraced(cfg, nil)
+}
+
+// RecordTraced is Record with trace-span parentage: it emits a
+// "peering.settle" span under parent carrying the sampled convergence
+// delay and the configuration slot duration. The convergence sample is
+// drawn whether or not tracing is on, so simulated clocks are identical
+// across traced and untraced runs.
+func (p *Platform) RecordTraced(cfg bgp.Config, parent *trace.Span) {
+	conv := p.conv.Sample(p.convRNG)
+	sp := trace.StartChild(parent, "peering.settle")
 	p.elapsed += p.constraints.ConfigDuration
+	p.converged += conv
 	p.deployed++
 	p.history = append(p.history, cfg)
+	if sp != nil {
+		sp.Set(
+			trace.Float("sim_convergence_s", conv.Seconds()),
+			trace.Float("sim_config_duration_s", p.constraints.ConfigDuration.Seconds()),
+			trace.Int("deployed", int64(p.deployed)),
+		)
+		sp.End()
+	}
 }
 
 // CacheStats returns the outcome cache's cumulative hit and miss counts
@@ -293,6 +335,19 @@ func (p *Platform) CacheStats() (hits, misses uint64) {
 	}
 	return p.cache.Stats()
 }
+
+// CacheSize returns the number of memoized outcomes (zero when the
+// cache is disabled).
+func (p *Platform) CacheSize() int {
+	if p.cache == nil {
+		return 0
+	}
+	return p.cache.Len()
+}
+
+// ConvergenceTotal returns the cumulative sampled convergence delay
+// across all recorded deployments.
+func (p *Platform) ConvergenceTotal() time.Duration { return p.converged }
 
 // Deploy validates the configuration, advances the simulated clock by the
 // configuration duration, and returns the converged routing outcome.

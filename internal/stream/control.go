@@ -5,12 +5,18 @@ import (
 
 	"spooftrack/internal/bgp"
 	"spooftrack/internal/sched"
+	"spooftrack/internal/trace"
 )
 
 // controller is the closed loop: evaluate the current round on a tick,
 // and reconfigure when the attribution is still too coarse.
 func (p *Pipeline) controller() {
 	defer p.wg.Done()
+	var csp *trace.Span
+	if p.span != nil {
+		csp = p.span.ChildTrack("stream.controller")
+		defer csp.End()
+	}
 	ticker := time.NewTicker(p.cfg.EvalInterval)
 	defer ticker.Stop()
 	for {
@@ -18,7 +24,7 @@ func (p *Pipeline) controller() {
 		case <-p.stop:
 			return
 		case <-ticker.C:
-			p.evaluate(false)
+			p.evaluate(false, csp)
 		}
 	}
 }
@@ -26,8 +32,10 @@ func (p *Pipeline) controller() {
 // evaluate folds the current round into the attribution state if it
 // carries enough volume, and — unless localization has converged —
 // deploys the configuration the greedy scheduler picks next. With
-// final=true (shutdown) it folds whatever the round holds.
-func (p *Pipeline) evaluate(final bool) {
+// final=true (shutdown) it folds whatever the round holds. Folds emit a
+// "stream.eval" span under parent; ticks that skip (too little volume)
+// emit nothing.
+func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	t0 := time.Now()
 	p.mEvals.Inc()
 
@@ -42,6 +50,7 @@ func (p *Pipeline) evaluate(final bool) {
 		p.mu.Unlock()
 		return
 	}
+	esp := trace.StartChild(parent, "stream.eval")
 
 	// Fold the round: localizer misses, cluster refinement, history.
 	// Links below the noise floor are treated as silent so that a
@@ -131,6 +140,15 @@ func (p *Pipeline) evaluate(final bool) {
 		p.cfg.Deploy(deployIdx, p.table(deployIdx))
 	}
 	p.hEval.Observe(time.Since(t0).Seconds())
+	if esp != nil {
+		esp.Count("round_packets", roundPackets)
+		esp.Count("clusters", int64(m.NumClusters))
+		esp.Count("candidates", int64(rec.Candidates))
+		if deployIdx >= 0 {
+			esp.Set(trace.Int("deploy_config", int64(deployIdx)))
+		}
+		esp.End()
+	}
 }
 
 // estimateVolumesLocked attributes the round's per-link volume to

@@ -34,6 +34,7 @@ import (
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/spoof"
 	"spooftrack/internal/topo"
+	"spooftrack/internal/trace"
 )
 
 // Attribution is the precomputed offline knowledge the live loop runs
@@ -191,8 +192,14 @@ type Pipeline struct {
 	mCands    *metrics.Gauge
 	mMeanSize *metrics.Gauge
 	mQueue    *metrics.Gauge
+	mWater    *metrics.Gauge
 	hBatch    *metrics.Histogram
 	hEval     *metrics.Histogram
+	hLag      *metrics.Histogram
+
+	// span is the pipeline's root trace span (nil when tracing is off at
+	// construction); workers and the controller hang their tracks off it.
+	span *trace.Span
 
 	start time.Time
 }
@@ -256,6 +263,17 @@ func New(attr Attribution, cfg Config) (*Pipeline, error) {
 	p.mQueue = reg.Gauge("stream_queue_depth")
 	p.hBatch = reg.Histogram("stream_batch_events", 1, 4, 16, 64, 256, 1024, 4096)
 	p.hEval = reg.Histogram("stream_eval_seconds", 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1)
+	p.hLag = reg.Histogram("stream_flush_lag_seconds", 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1, 5)
+	p.mWater = reg.Gauge("stream_watermark_unix_s")
+
+	p.span = trace.Start("stream.pipeline")
+	if p.span != nil {
+		p.span.Set(
+			trace.Int("workers", int64(cfg.Workers)),
+			trace.Int("links", int64(attr.NumLinks)),
+			trace.Int("sources", int64(n)),
+		)
+	}
 
 	p.st = loopState{
 		current:    attr.InitialConfig,
@@ -282,7 +300,7 @@ func New(attr Attribution, cfg Config) (*Pipeline, error) {
 	for i := range p.shards {
 		p.shards[i] = make(chan amp.Event, cfg.QueueDepth)
 		p.wg.Add(1)
-		go p.worker(p.shards[i])
+		go p.worker(i, p.shards[i])
 	}
 	p.wg.Add(1)
 	go p.controller()
@@ -353,6 +371,11 @@ type batch struct {
 	settled  int64
 	total    int64
 	totalB   int64
+	// first/last are the event timestamps bounding the batch: at flush,
+	// now-first is the stage lag (oldest unflushed event's age) and last
+	// is the shard's watermark.
+	first time.Time
+	last  time.Time
 }
 
 func newBatch(links int) *batch {
@@ -372,8 +395,16 @@ func (b *batch) reset() {
 	b.settled, b.total, b.totalB = 0, 0, 0
 }
 
-func (p *Pipeline) worker(ch chan amp.Event) {
+func (p *Pipeline) worker(shard int, ch chan amp.Event) {
 	defer p.wg.Done()
+	var wsp *trace.Span
+	if p.span != nil {
+		// Each worker gets its own track so concurrent flush spans render
+		// as parallel flame-chart rows.
+		wsp = p.span.ChildTrack("stream.worker")
+		wsp.Set(trace.Int("shard", int64(shard)))
+		defer wsp.End()
+	}
 	ticker := time.NewTicker(p.cfg.FlushInterval)
 	defer ticker.Stop()
 	b := newBatch(p.attr.NumLinks)
@@ -381,31 +412,35 @@ func (p *Pipeline) worker(ch chan amp.Event) {
 		select {
 		case ev, ok := <-ch:
 			if !ok {
-				p.flush(b)
+				p.flush(b, wsp)
 				return
 			}
-			p.accumulate(b, ev)
+			p.accumulate(b, ev, wsp)
 			if b.events >= p.cfg.BatchSize {
-				p.flush(b)
+				p.flush(b, wsp)
 			}
 		case <-ticker.C:
 			if b.events > 0 {
-				p.flush(b)
+				p.flush(b, wsp)
 			}
 		}
 	}
 }
 
-func (p *Pipeline) accumulate(b *batch, ev amp.Event) {
+func (p *Pipeline) accumulate(b *batch, ev amp.Event, wsp *trace.Span) {
 	if e := p.epoch.Load(); b.events == 0 {
 		b.epoch = e
 	} else if b.epoch != e {
 		// The round this batch belongs to has been folded; hand the
 		// batch over before starting one in the new epoch.
-		p.flush(b)
+		p.flush(b, wsp)
 		b.epoch = e
 	}
 	b.events++
+	if b.events == 1 {
+		b.first = ev.Time
+	}
+	b.last = ev.Time
 	b.total++
 	b.totalB += int64(ev.WireLen)
 	if su := p.settleUntil.Load(); su != 0 && ev.Time.UnixNano() < su {
@@ -420,9 +455,13 @@ func (p *Pipeline) accumulate(b *batch, ev amp.Event) {
 }
 
 // flush merges a worker batch into the shared round state.
-func (p *Pipeline) flush(b *batch) {
+func (p *Pipeline) flush(b *batch, wsp *trace.Span) {
 	if b.events == 0 {
 		return
+	}
+	var fsp *trace.Span
+	if wsp != nil {
+		fsp = wsp.Child("stream.flush")
 	}
 	excluded := b.settled
 	p.mu.Lock()
@@ -452,6 +491,21 @@ func (p *Pipeline) flush(b *batch) {
 	p.mSettle.Add(excluded)
 	p.mBatches.Inc()
 	p.hBatch.Observe(float64(b.events))
+	// Stage lag is the age of the batch's oldest event at flush time; the
+	// watermark is the newest event time this shard has pushed downstream.
+	lag := time.Since(b.first)
+	watermark := float64(b.last.UnixNano()) / 1e9
+	p.hLag.Observe(lag.Seconds())
+	p.mWater.Set(watermark)
+	if fsp != nil {
+		fsp.Count("events", int64(b.events))
+		fsp.Count("excluded", excluded)
+		fsp.Set(
+			trace.Float("lag_s", lag.Seconds()),
+			trace.Float("watermark_unix_s", watermark),
+		)
+		fsp.End()
+	}
 	b.reset()
 }
 
@@ -473,7 +527,8 @@ func (p *Pipeline) Close() {
 		close(ch)
 	}
 	p.wg.Wait()
-	p.evaluate(true)
+	p.evaluate(true, p.span)
+	p.span.End()
 }
 
 // TotalEvents returns how many events have been flushed into the shared

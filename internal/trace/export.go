@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// SpanRecord is one finished span as stored in the journal. Track
+// groups records that render on one flame-chart row; a root span's
+// Track equals its ID.
+type SpanRecord struct {
+	ID       uint64
+	Parent   uint64 // 0 for root spans
+	Track    uint64
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	Counters []Counter
+}
+
+// Args merges the record's attributes and counters into one map (the
+// shape both exporters embed per event).
+func (r SpanRecord) Args() map[string]any {
+	if len(r.Attrs) == 0 && len(r.Counters) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(r.Attrs)+len(r.Counters))
+	for _, a := range r.Attrs {
+		args[a.Key] = a.Value()
+	}
+	for _, c := range r.Counters {
+		args[c.Name] = c.Value
+	}
+	return args
+}
+
+// jsonSpan is the JSON-timeline export shape of one record.
+type jsonSpan struct {
+	ID     uint64         `json:"id"`
+	Parent uint64         `json:"parent,omitempty"`
+	Track  uint64         `json:"track"`
+	Name   string         `json:"name"`
+	Start  string         `json:"start"`
+	DurNS  int64          `json:"dur_ns"`
+	Args   map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON exports the journal as a JSON timeline: an object with the
+// spans ordered by start time plus the journal's dropped count, for
+// programmatic consumption and auditing.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	recs := t.Snapshot()
+	spans := make([]jsonSpan, len(recs))
+	for i, r := range recs {
+		spans[i] = jsonSpan{
+			ID:     r.ID,
+			Parent: r.Parent,
+			Track:  r.Track,
+			Name:   r.Name,
+			Start:  r.Start.Format(time.RFC3339Nano),
+			DurNS:  r.Duration.Nanoseconds(),
+			Args:   r.Args(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"spans":   spans,
+		"dropped": t.Dropped(),
+	})
+}
+
+// WriteChromeTrace exports the journal in Chrome trace-event format: a
+// {"traceEvents": [...]} object of complete ("X") events that loads in
+// chrome://tracing or https://ui.perfetto.dev. Each track becomes a
+// thread row (named after its root span), and nested spans on one track
+// render as a flame chart.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Snapshot())
+}
+
+// WriteChromeTrace exports the given records in Chrome trace-event
+// format. Records must carry wall-clock Start times from one process
+// (timestamps are rebased to the earliest record).
+func WriteChromeTrace(w io.Writer, recs []SpanRecord) error {
+	events := make([]map[string]any, 0, len(recs)+16)
+	var base time.Time
+	for _, r := range recs {
+		if base.IsZero() || r.Start.Before(base) {
+			base = r.Start
+		}
+	}
+	// Name each track (trace-viewer thread) after its root span; the
+	// first record seen on a track stands in when the root was evicted.
+	trackName := make(map[uint64]string)
+	for _, r := range recs {
+		if r.ID == r.Track || trackName[r.Track] == "" {
+			trackName[r.Track] = r.Name
+		}
+	}
+	for track, name := range trackName {
+		events = append(events, map[string]any{
+			"name": "thread_name",
+			"ph":   "M",
+			"pid":  1,
+			"tid":  track,
+			"args": map[string]any{"name": name},
+		})
+	}
+	for _, r := range recs {
+		dur := float64(r.Duration.Nanoseconds()) / 1e3
+		if dur <= 0 {
+			dur = 0.001 // zero-width events confuse trace viewers
+		}
+		ev := map[string]any{
+			"name": r.Name,
+			"cat":  "spooftrack",
+			"ph":   "X",
+			"ts":   float64(r.Start.Sub(base).Nanoseconds()) / 1e3,
+			"dur":  dur,
+			"pid":  1,
+			"tid":  r.Track,
+		}
+		if args := r.Args(); args != nil {
+			ev["args"] = args
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// attribute kinds for the Attr tagged union.
+const (
+	kindString uint8 = iota + 1
+	kindInt
+	kindFloat
+	kindBool
+)
+
+// Attr is a typed span attribute. Build with String/Int/Float/Bool; the
+// tagged-union layout keeps attribute construction allocation-free for
+// the numeric kinds.
+type Attr struct {
+	Key  string
+	kind uint8
+	str  string
+	num  uint64
+}
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, kind: kindString, str: v} }
+
+// Int builds an int64 attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: kindInt, num: uint64(v)} }
+
+// Float builds a float64 attribute.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, kind: kindFloat, num: math.Float64bits(v)}
+}
+
+// Bool builds a bool attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, kind: kindBool}
+	if v {
+		a.num = 1
+	}
+	return a
+}
+
+// Value returns the attribute's value as its dynamic type.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindString:
+		return a.str
+	case kindInt:
+		return int64(a.num)
+	case kindFloat:
+		return math.Float64frombits(a.num)
+	case kindBool:
+		return a.num != 0
+	default:
+		return nil
+	}
+}
+
+// Counter is one named per-span counter.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Span is one timed region of work. Spans nest: Child starts a span on
+// the same track (rendered as one row of the flame chart), ChildTrack
+// starts a child on a fresh track (for concurrent workers, whose spans
+// would otherwise overlap within a row).
+//
+// A nil *Span is a valid no-op — every method checks — which is what
+// disabled tracers hand out. Set and Count may be called from the
+// goroutine running the span at any point before End; after End they
+// are no-ops.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	track  uint64
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	counters []Counter
+	ended    bool
+}
+
+// Child begins a nested span on the same track.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	id := s.t.nextID.Add(1)
+	return &Span{t: s.t, id: id, parent: s.id, track: s.track, name: name, start: time.Now()}
+}
+
+// ChildTrack begins a nested span on a new track of its own — use for
+// spans that run concurrently with their siblings (one track per worker
+// goroutine renders each worker as its own flame-chart row).
+func (s *Span) ChildTrack(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	id := s.t.nextID.Add(1)
+	return &Span{t: s.t, id: id, parent: s.id, track: id, name: name, start: time.Now()}
+}
+
+// Set attaches attributes to the span.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// Count adds delta to the span's named counter, creating it at zero on
+// first use. Spans carry few counters, so lookup is a linear scan.
+func (s *Span) Count(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		for i := range s.counters {
+			if s.counters[i].Name == name {
+				s.counters[i].Value += delta
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.counters = append(s.counters, Counter{Name: name, Value: delta})
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span, stamping its duration off the monotonic clock
+// and recording it into the tracer's journal. End is idempotent; calls
+// after the first are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Track:    s.track,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: dur,
+		Attrs:    s.attrs,
+		Counters: s.counters,
+	}
+	s.mu.Unlock()
+	s.t.record(rec)
+}

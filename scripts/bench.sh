@@ -1,7 +1,9 @@
 #!/bin/sh
 # Benchmark-regression harness: runs the propagation-engine
 # micro-benchmarks (optimized engine, reference implementation,
-# poison-heavy and parallel variants) and the figure benchmarks, then
+# poison-heavy, parallel, and traced on/off variants — the latter pair
+# guards the tracing-disabled overhead budget) and the figure
+# benchmarks, then
 # records every result — ns/op, B/op, allocs/op, and the figures' custom
 # metrics — in BENCH_<date>.json for before/after comparison across
 # commits.
