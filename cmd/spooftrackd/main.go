@@ -11,11 +11,16 @@
 // HTTP endpoints (on -listen):
 //
 //	/status       pipeline snapshot: clusters, per-link rates, top sources
-//	/metrics      expvar-style counters, gauges and histograms
+//	/metrics      counters, gauges, histograms and labeled vectors; JSON by
+//	              default, Prometheus text format via Accept: text/plain or
+//	              ?format=prometheus
 //	/evidence     operator-facing localization evidence for the candidates
 //	/trace        span journal (?format=chrome for chrome://tracing, json for raw)
 //	/debug/pprof/ standard Go profiling endpoints
-//	/healthz      liveness probe
+//	/debug/bundle latest SLO-breach diagnostic bundle (404 until one fires)
+//	/slo          watchdog rule states (value, threshold, breach streak)
+//	/healthz      liveness probe (process up)
+//	/readyz       readiness probe (pipeline running and no SLO in breach)
 //
 // With -attackers > 0 the daemon also runs built-in demo attackers that
 // flood the border with spoofed requests, so a bare
@@ -51,6 +56,7 @@ import (
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/stream"
 	"spooftrack/internal/trace"
+	"spooftrack/internal/watch"
 )
 
 func main() {
@@ -73,6 +79,11 @@ func main() {
 		shutdownTO    = flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain the pipeline on shutdown")
 		traceOn       = flag.Bool("trace", false, "enable structured tracing (serve the journal at /trace)")
 		traceJournal  = flag.Int("trace-journal", 16384, "trace journal capacity (spans)")
+		watchEvery    = flag.Duration("watch-interval", 5*time.Second, "SLO watchdog evaluation interval")
+		bundleDir     = flag.String("bundle-dir", "spooftrackd-bundles", "diagnostic bundle directory (empty = no bundles on breach)")
+		lagSLO        = flag.Float64("slo-flush-lag", 2.0, "flush-lag p99 SLO in seconds")
+		dropSLO       = flag.Float64("slo-drop-rate", 100, "border drop-rate SLO in packets/second")
+		hitSLO        = flag.Float64("slo-cache-hit", 0.10, "outcome-cache hit-rate floor (0..1)")
 	)
 	flag.Parse()
 
@@ -130,6 +141,9 @@ func main() {
 	reg.GaugeFunc("bgp_outcome_cache_size", func() float64 {
 		return float64(platform.CacheSize())
 	})
+	// Labeled family (bgp_outcome_cache_requests_total{result}) counted at
+	// the cache itself; the watchdog's hit-rate floor reads it.
+	platform.InstrumentCache(reg)
 
 	// Packet plane on loopback: honeypot behind a border router.
 	hp, err := amp.NewHoneypot("127.0.0.1:0", amp.DefaultHoneypotConfig())
@@ -138,12 +152,14 @@ func main() {
 		os.Exit(1)
 	}
 	defer hp.Close()
+	hp.SetMetrics(reg)
 	border, err := amp.NewBorder("127.0.0.1:0", hp.Addr().(*net.UDPAddr), nil)
 	if err != nil {
 		slog.Error("border failed", "err", err)
 		os.Exit(1)
 	}
 	defer border.Close()
+	border.SetMetrics(reg)
 
 	// Streaming attribution pipeline, closed onto the border: deploying
 	// a configuration means swapping the live catchment table.
@@ -170,11 +186,53 @@ func main() {
 	}
 	hp.SetTap(func(ev amp.Event) { pipe.Ingest(ev) })
 
-	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer)}
+	// SLO watchdog: flight-record registry snapshots and drop a diagnostic
+	// bundle when the live loop degrades past its objectives.
+	dog := watch.New(watch.Config{
+		Registry:  reg,
+		Interval:  *watchEvery,
+		Tracer:    tracer,
+		BundleDir: *bundleDir,
+		OnBreach:  nil,
+		Rules: []watch.Rule{
+			{
+				Name:      "stream-flush-lag-p99",
+				Expr:      watch.Quantile("stream_flush_lag_seconds", 0.99),
+				Op:        watch.Above,
+				Threshold: *lagSLO,
+				For:       3,
+			},
+			{
+				Name:      "border-drop-rate",
+				Expr:      watch.Series("amp_border_packets_total", "outcome=dropped"),
+				Rate:      true,
+				Op:        watch.Above,
+				Threshold: *dropSLO,
+				For:       3,
+			},
+			{
+				Name: "outcome-cache-hit-rate",
+				Expr: watch.Ratio(
+					watch.Series("bgp_outcome_cache_requests_total", "result=hit"),
+					watch.Sum(
+						watch.Series("bgp_outcome_cache_requests_total", "result=hit"),
+						watch.Series("bgp_outcome_cache_requests_total", "result=miss"),
+					),
+				),
+				Op:        watch.Below,
+				Threshold: *hitSLO,
+				For:       3,
+			},
+		},
+	})
+	dog.Start()
+	defer dog.Stop()
+
+	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog)}
 	httpErr := make(chan error, 1)
 	go func() {
 		slog.Info("http listening", "addr", *listen,
-			"endpoints", "/status /metrics /evidence /trace /debug/pprof/ /healthz")
+			"endpoints", "/status /metrics /evidence /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
 		httpErr <- srv.ListenAndServe()
 	}()
 	slog.Info("packet plane up: point spoofed traffic at the border",
@@ -280,8 +338,11 @@ func newLogger(level string) (*slog.Logger, error) {
 }
 
 // newMux assembles the daemon's HTTP surface: pipeline introspection,
-// metrics, the trace journal, and the standard pprof endpoints.
-func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer) *http.ServeMux {
+// metrics, the trace journal, the SLO watchdog (readiness and bundles),
+// and the standard pprof endpoints. dog may be nil (no watchdog:
+// /readyz degrades to a pipeline-started check, /slo and /debug/bundle
+// report 404).
+func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, pipe.Status(10))
@@ -317,8 +378,53 @@ func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer) *htt
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		if dog == nil {
+			http.Error(w, "no watchdog configured", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, dog.Status())
+	})
+	mux.HandleFunc("/debug/bundle", func(w http.ResponseWriter, r *http.Request) {
+		if dog == nil {
+			http.Error(w, "no watchdog configured", http.StatusNotFound)
+			return
+		}
+		path := dog.LastBundlePath()
+		if path == "" {
+			http.Error(w, "no diagnostic bundle captured yet", http.StatusNotFound)
+			return
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Bundle-Path", path)
+		_, _ = w.Write(data)
+	})
+	// Liveness is process-up only; readiness additionally requires the
+	// pipeline to be running and no SLO rule in breach, so an orchestrator
+	// pulls a degraded daemon out of rotation without restarting it.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if pipe == nil {
+			http.Error(w, "pipeline not started", http.StatusServiceUnavailable)
+			return
+		}
+		if dog != nil && !dog.Healthy() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"ready":    false,
+				"breaches": dog.BreachingRules(),
+			})
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	return mux
 }

@@ -14,11 +14,19 @@ import (
 	"spooftrack/internal/stream"
 	"spooftrack/internal/topo"
 	"spooftrack/internal/trace"
+	"spooftrack/internal/watch"
 )
 
 // testMux builds the daemon's HTTP surface over a tiny two-source
 // pipeline, without a packet plane.
 func testMux(t *testing.T) *http.ServeMux {
+	mux, _ := testMuxWatch(t, nil, "")
+	return mux
+}
+
+// testMuxWatch is testMux with watchdog rules and a bundle directory,
+// returning the watchdog so tests can drive Evaluate directly.
+func testMuxWatch(t *testing.T, rules []watch.Rule, bundleDir string) (*http.ServeMux, *watch.Watchdog) {
 	t.Helper()
 	reg := metrics.NewRegistry()
 	pipe, err := stream.New(stream.Attribution{
@@ -33,7 +41,13 @@ func testMux(t *testing.T) *http.ServeMux {
 	tr := trace.New(trace.Options{Enabled: true, JournalCap: 64})
 	sp := tr.Start("test.root")
 	sp.End()
-	return newMux(pipe, reg, tr)
+	dog := watch.New(watch.Config{
+		Registry:  reg,
+		Rules:     rules,
+		Tracer:    tr,
+		BundleDir: bundleDir,
+	})
+	return newMux(pipe, reg, tr, dog), dog
 }
 
 func get(t *testing.T, mux *http.ServeMux, path string) (*http.Response, string) {
@@ -53,6 +67,92 @@ func TestHealthz(t *testing.T) {
 	res, body := get(t, testMux(t), "/healthz")
 	if res.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Fatalf("healthz: status %d body %q", res.StatusCode, body)
+	}
+}
+
+func TestReadyzHealthy(t *testing.T) {
+	res, body := get(t, testMux(t), "/readyz")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz: status %d body %q", res.StatusCode, body)
+	}
+}
+
+// alwaysBreach is a rule that fires on the first evaluation: every
+// registry has stream_events_total = 0 > -1.
+func alwaysBreach() watch.Rule {
+	return watch.Rule{
+		Name:      "always-breach",
+		Expr:      watch.Metric("stream_events_total"),
+		Op:        watch.Above,
+		Threshold: -1,
+		For:       1,
+	}
+}
+
+func TestReadyzReportsBreach(t *testing.T) {
+	mux, dog := testMuxWatch(t, []watch.Rule{alwaysBreach()}, "")
+	if fired := dog.Evaluate(time.Now()); len(fired) != 1 {
+		t.Fatalf("expected 1 breach, got %d", len(fired))
+	}
+	res, body := get(t, mux, "/readyz")
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz in breach: status %d, want 503", res.StatusCode)
+	}
+	if !strings.Contains(body, "always-breach") {
+		t.Fatalf("readyz body should name the breaching rule:\n%s", body)
+	}
+	// Liveness is unaffected by SLO state.
+	if res, _ := get(t, mux, "/healthz"); res.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during breach: status %d, want 200", res.StatusCode)
+	}
+}
+
+func TestSLOStatusEndpoint(t *testing.T) {
+	mux, dog := testMuxWatch(t, []watch.Rule{alwaysBreach()}, "")
+	dog.Evaluate(time.Now())
+	res, body := get(t, mux, "/slo")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("slo: status %d", res.StatusCode)
+	}
+	var rules []watch.RuleStatus
+	if err := json.Unmarshal([]byte(body), &rules); err != nil {
+		t.Fatalf("slo is not JSON: %v\n%s", err, body)
+	}
+	if len(rules) != 1 || rules[0].Name != "always-breach" || !rules[0].Breaching {
+		t.Fatalf("slo rules = %+v, want always-breach breaching", rules)
+	}
+}
+
+func TestDebugBundleNotFoundBeforeBreach(t *testing.T) {
+	mux, _ := testMuxWatch(t, []watch.Rule{alwaysBreach()}, t.TempDir())
+	res, _ := get(t, mux, "/debug/bundle")
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("bundle before breach: status %d, want 404", res.StatusCode)
+	}
+}
+
+func TestDebugBundleServesLatestBundle(t *testing.T) {
+	mux, dog := testMuxWatch(t, []watch.Rule{alwaysBreach()}, t.TempDir())
+	if fired := dog.Evaluate(time.Now()); len(fired) != 1 || fired[0].BundlePath == "" {
+		t.Fatalf("breach should write a bundle, got %+v", fired)
+	}
+	res, body := get(t, mux, "/debug/bundle")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("bundle after breach: status %d\n%s", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("bundle Content-Type = %q", ct)
+	}
+	var bundle watch.Bundle
+	if err := json.Unmarshal([]byte(body), &bundle); err != nil {
+		t.Fatalf("bundle is not JSON: %v\n%s", err, body)
+	}
+	if bundle.Breach.Rule != "always-breach" {
+		t.Fatalf("bundle breach rule = %q, want always-breach", bundle.Breach.Rule)
+	}
+	if len(bundle.Snapshots) == 0 || bundle.Goroutine == "" {
+		t.Fatalf("bundle incomplete: %d snapshots, goroutine %d bytes",
+			len(bundle.Snapshots), len(bundle.Goroutine))
 	}
 }
 

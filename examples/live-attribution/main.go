@@ -69,8 +69,12 @@ func main() {
 
 	// Streaming pipeline closed onto the border: Deploy swaps the live
 	// catchment table, and the honeypot tap feeds every spoofed request
-	// straight into attribution.
+	// straight into attribution. The honeypot and border share the
+	// registry, so per-link and per-outcome series accumulate alongside
+	// the pipeline's own counters.
 	reg := metrics.NewRegistry()
+	hp.SetMetrics(reg)
+	border.SetMetrics(reg)
 	pipe, err := stream.New(stream.Attribution{
 		Catchments: camp.Catchments,
 		SourceASNs: tracker.SourceASNs(),
@@ -120,6 +124,9 @@ func main() {
 	fmt.Printf("clusters: %d, mean size %.1f, converged=%v\n",
 		st.NumClusters, st.MeanClusterSize, st.Converged)
 	fmt.Printf("events_total metric: %d\n", reg.Counter("stream_events_total").Value())
+	if snap, ok := reg.Snapshot()["amp_honeypot_packets_total"].(map[string]any); ok {
+		fmt.Printf("honeypot saw traffic on %d links\n", len(snap))
+	}
 
 	rep, err := pipe.Evidence()
 	if err != nil {

@@ -32,6 +32,9 @@ type Border struct {
 	filtered int64
 	// tap, when set, observes every forwarded packet.
 	tap Tap
+	// metrics, when set, receives labeled per-outcome and per-link
+	// counters for every packet.
+	metrics *borderMetrics
 }
 
 // NewBorder starts a border router on addr forwarding to the honeypot
@@ -110,6 +113,12 @@ func (b *Border) serve() {
 		}
 		pkt, err := Unmarshal(buf[:n])
 		if err != nil || pkt.Type != TypeRequest {
+			b.mu.Lock()
+			m := b.metrics
+			b.mu.Unlock()
+			if m != nil {
+				m.packets.With("malformed").Inc()
+			}
 			continue
 		}
 		b.mu.Lock()
@@ -119,8 +128,12 @@ func (b *Border) serve() {
 		}
 		filter := b.filter
 		tap := b.tap
+		m := b.metrics
 		b.mu.Unlock()
 		if !ok {
+			if m != nil {
+				m.packets.With("dropped").Inc()
+			}
 			sp.Count("dropped", 1)
 			continue
 		}
@@ -128,6 +141,9 @@ func (b *Border) serve() {
 			b.mu.Lock()
 			b.filtered++
 			b.mu.Unlock()
+			if m != nil {
+				m.packets.With("filtered").Inc()
+			}
 			sp.Count("filtered", 1)
 			continue
 		}
@@ -141,6 +157,10 @@ func (b *Border) serve() {
 				WireLen:     n,
 			})
 			sp.Count("tap_events", 1)
+		}
+		if m != nil {
+			m.packets.With("forwarded").Inc()
+			m.linkPkts.With(linkLabels[link]).Inc()
 		}
 		sp.Count("forwarded", 1)
 		if data, err := pkt.Marshal(); err == nil {

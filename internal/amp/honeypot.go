@@ -54,6 +54,7 @@ type Honeypot struct {
 
 	mu         sync.Mutex
 	tap        Tap
+	metrics    *hpMetrics
 	byLink     map[uint8]*LinkStats
 	bySource   map[netip.Addr]int64 // victim (spoofed) address -> packets
 	byService  map[string]int64     // emulated protocol -> requests
@@ -116,7 +117,11 @@ func (h *Honeypot) serve() {
 		if err != nil || pkt.Type != TypeRequest {
 			h.mu.Lock()
 			h.malformed++
+			m := h.metrics
 			h.mu.Unlock()
+			if m != nil {
+				m.requests.With("malformed").Inc()
+			}
 			sp.Count("malformed", 1)
 			continue
 		}
@@ -133,7 +138,11 @@ func (h *Honeypot) handleRequest(pkt *Packet, wireLen int, sp *trace.Span) {
 		if !recognized {
 			h.mu.Lock()
 			h.malformed++
+			m := h.metrics
 			h.mu.Unlock()
+			if m != nil {
+				m.requests.With("malformed").Inc()
+			}
 			sp.Count("malformed", 1)
 			return
 		}
@@ -154,7 +163,20 @@ func (h *Honeypot) handleRequest(pkt *Packet, wireLen int, sp *trace.Span) {
 	}
 	allowed := h.allowReflectLocked(pkt.SpoofedSrc)
 	tap := h.tap
+	m := h.metrics
 	h.mu.Unlock()
+
+	if m != nil {
+		m.requests.With("accepted").Inc()
+		m.linkPkts.With(linkLabels[pkt.IngressLink]).Inc()
+		m.linkBytes.With(linkLabels[pkt.IngressLink]).Add(int64(wireLen))
+		if svc != nil {
+			m.service.With(svc.Name()).Inc()
+		}
+		if !allowed {
+			m.requests.With("rate_limited").Inc()
+		}
+	}
 
 	if tap != nil {
 		ev := Event{
@@ -195,6 +217,9 @@ func (h *Honeypot) handleRequest(pkt *Packet, wireLen int, sp *trace.Span) {
 			h.mu.Lock()
 			h.reflected++
 			h.mu.Unlock()
+			if m != nil {
+				m.requests.With("reflected").Inc()
+			}
 			sp.Count("reflected", 1)
 		}
 	}

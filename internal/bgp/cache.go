@@ -3,6 +3,7 @@ package bgp
 import (
 	"sync"
 
+	"spooftrack/internal/metrics"
 	"spooftrack/internal/trace"
 )
 
@@ -22,6 +23,11 @@ type OutcomeCache struct {
 	m      map[string]*Outcome
 	hits   uint64
 	misses uint64
+	// hitC/missC, when set via Instrument, are bumped alongside the
+	// internal counters so a registry sees hits and misses as one
+	// labeled family instead of two scraped gauges.
+	hitC  *metrics.Counter
+	missC *metrics.Counter
 }
 
 // CacheStats is a point-in-time view of a cache's effectiveness:
@@ -57,6 +63,9 @@ func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span
 	c.mu.Lock()
 	if out, ok := c.m[key]; ok {
 		c.hits++
+		if c.hitC != nil {
+			c.hitC.Inc()
+		}
 		size := len(c.m)
 		c.mu.Unlock()
 		c.endSpan(sp, 1, 0, size)
@@ -71,12 +80,18 @@ func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span
 	c.mu.Lock()
 	if prior, ok := c.m[key]; ok {
 		c.hits++
+		if c.hitC != nil {
+			c.hitC.Inc()
+		}
 		size := len(c.m)
 		c.mu.Unlock()
 		c.endSpan(sp, 1, 0, size)
 		return prior, nil
 	}
 	c.misses++
+	if c.missC != nil {
+		c.missC.Inc()
+	}
 	c.m[key] = &out
 	size := len(c.m)
 	c.mu.Unlock()
@@ -94,6 +109,21 @@ func (c *OutcomeCache) endSpan(sp *trace.Span, hit, miss int64, size int) {
 	sp.Count("miss", miss)
 	sp.Set(trace.Int("size", int64(size)))
 	sp.End()
+}
+
+// Instrument attaches a labeled counter vector (conventionally
+// bgp_outcome_cache_requests_total{result}) so hits and misses are
+// counted under result="hit" / result="miss" as they happen. Nil
+// detaches. Counts recorded before Instrument are not replayed.
+func (c *OutcomeCache) Instrument(v *metrics.CounterVec) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v == nil {
+		c.hitC, c.missC = nil, nil
+		return
+	}
+	c.hitC = v.With("hit")
+	c.missC = v.With("miss")
 }
 
 // Stats returns the cumulative hit and miss counts.

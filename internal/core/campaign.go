@@ -11,6 +11,7 @@ import (
 	"spooftrack/internal/bgp"
 	"spooftrack/internal/cluster"
 	"spooftrack/internal/measure"
+	"spooftrack/internal/metrics"
 	"spooftrack/internal/sched"
 	"spooftrack/internal/stats"
 	"spooftrack/internal/trace"
@@ -46,6 +47,10 @@ type CampaignOptions struct {
 	// measurement stop between configurations and RunCampaign returns
 	// the context's error. Nil means run to completion.
 	Ctx context.Context
+	// Metrics, if non-nil, receives per-phase campaign instrumentation:
+	// core_campaign_phase_seconds{phase="deploy"|"measure"} wall-clock
+	// histograms and core_campaign_configs_total{phase} counters.
+	Metrics *metrics.Registry
 }
 
 // Campaign is the result of deploying a plan: per-configuration routing
@@ -105,6 +110,14 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		)
 	}
 
+	var phaseH *metrics.HistogramVec
+	var cfgC *metrics.CounterVec
+	if opts.Metrics != nil {
+		phaseH = opts.Metrics.HistogramVec("core_campaign_phase_seconds",
+			[]string{"phase"}, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60, 600)
+		cfgC = opts.Metrics.CounterVec("core_campaign_configs_total", "phase")
+	}
+
 	// Per-config RNGs split in plan order up front, so downstream results
 	// do not depend on execution parallelism.
 	rngs := make([]*stats.RNG, len(plan))
@@ -162,12 +175,17 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		}
 		w.Platform.RecordTraced(plan[i].Config, csp)
 	}
+	if phaseH != nil {
+		phaseH.With("deploy").Observe(time.Since(deployStart).Seconds())
+		cfgC.With("deploy").Add(int64(len(plan)))
+	}
 
 	if !opts.UseTruth {
 		// Measurement is independent per configuration: fan out.
 		c.Measurements = make([]*measure.CatchmentMeasurement, len(plan))
 		errs := make([]error, len(plan))
 		var done int32
+		measureStart := time.Now()
 		runPoolSpans(csp, "campaign.measure.worker", workers, len(plan), func(i int, wsp *trace.Span) {
 			if ctx.Err() != nil {
 				errs[i] = ctx.Err()
@@ -193,6 +211,10 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 			if err != nil {
 				return nil, fmt.Errorf("core: config %d: %w", i, err)
 			}
+		}
+		if phaseH != nil {
+			phaseH.With("measure").Observe(time.Since(measureStart).Seconds())
+			cfgC.With("measure").Add(int64(len(plan)))
 		}
 	} else if opts.Progress != nil {
 		opts.Progress(len(plan), len(plan))

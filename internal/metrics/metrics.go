@@ -138,11 +138,17 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile estimates the q-quantile (0..1) by linear interpolation
 // within the containing bucket. Overflow-bucket answers clamp to the
-// last bound.
+// last bound. A histogram with no buckets (possible only by
+// constructing the zero value directly — NewHistogram substitutes
+// DefBuckets) answers with the observed maximum rather than indexing an
+// empty bounds slice.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Count()
 	if total == 0 {
 		return 0
+	}
+	if len(h.bounds) == 0 {
+		return h.Max()
 	}
 	rank := q * float64(total)
 	acc := int64(0)
@@ -180,6 +186,12 @@ type HistogramSnapshot struct {
 	P50     float64          `json:"p50"`
 	P99     float64          `json:"p99"`
 	Buckets map[string]int64 `json:"buckets"`
+	// Bounds is the full bucket-bound layout (Buckets holds only
+	// occupied buckets, keyed by formatted bound). Not serialized, so
+	// the JSON shape is unchanged; in-process consumers (the SLO
+	// watchdog's quantile rules) use it to reconstruct exact
+	// interpolation semantics from a snapshot.
+	Bounds []float64 `json:"-"`
 }
 
 // Snapshot captures the histogram's current state.
@@ -203,6 +215,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50:     h.Quantile(0.50),
 		P99:     h.Quantile(0.99),
 		Buckets: buckets,
+		Bounds:  h.bounds,
 	}
 }
 
@@ -304,6 +317,12 @@ func (r *Registry) Snapshot() map[string]any {
 			out[name] = m.Value()
 		case *Histogram:
 			out[name] = m.Snapshot()
+		case *CounterVec:
+			out[name] = m.Snapshot()
+		case *GaugeVec:
+			out[name] = m.Snapshot()
+		case *HistogramVec:
+			out[name] = m.Snapshot()
 		}
 	}
 	return out
@@ -340,9 +359,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// Handler serves the registry as JSON — mount it at /metrics.
+// Handler serves the registry at /metrics, content-negotiated: JSON by
+// default (byte-compatible with the pre-Prometheus export, so existing
+// consumers are unaffected), Prometheus text format when the client
+// asks for it via Accept: text/plain (what promtool and the Prometheus
+// scraper send) or ?format=prometheus. ?format=json forces JSON.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = r.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"spooftrack/internal/bgp"
+	"spooftrack/internal/metrics"
 	"spooftrack/internal/stats"
 	"spooftrack/internal/topo"
 	"spooftrack/internal/trace"
@@ -343,6 +344,18 @@ func (p *Platform) CacheSize() int {
 		return 0
 	}
 	return p.cache.Len()
+}
+
+// InstrumentCache wires the outcome cache into a metrics registry as
+// bgp_outcome_cache_requests_total{result="hit"|"miss"} plus a
+// bgp_outcome_cache_size gauge. No-op when the cache is disabled or reg
+// is nil. The watchdog's hit-rate SLO reads the labeled family.
+func (p *Platform) InstrumentCache(reg *metrics.Registry) {
+	if p.cache == nil || reg == nil {
+		return
+	}
+	p.cache.Instrument(reg.CounterVec("bgp_outcome_cache_requests_total", "result"))
+	reg.GaugeFunc("bgp_outcome_cache_size", func() float64 { return float64(p.cache.Len()) })
 }
 
 // ConvergenceTotal returns the cumulative sampled convergence delay

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/netip"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -197,6 +198,14 @@ type Pipeline struct {
 	hEval     *metrics.Histogram
 	hLag      *metrics.Histogram
 
+	// labeled vectors: per-link children are resolved once at New into
+	// dense slices (the hot path indexes, never formats or hashes);
+	// per-shard children are resolved once per worker.
+	linkPktC      []*metrics.Counter
+	linkByteC     []*metrics.Counter
+	vShardEvents  *metrics.CounterVec
+	vShardBatches *metrics.CounterVec
+
 	// span is the pipeline's root trace span (nil when tracing is off at
 	// construction); workers and the controller hang their tracks off it.
 	span *trace.Span
@@ -265,6 +274,17 @@ func New(attr Attribution, cfg Config) (*Pipeline, error) {
 	p.hEval = reg.Histogram("stream_eval_seconds", 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1)
 	p.hLag = reg.Histogram("stream_flush_lag_seconds", 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1, 5)
 	p.mWater = reg.Gauge("stream_watermark_unix_s")
+	vLinkPkts := reg.CounterVec("stream_link_packets_total", "link")
+	vLinkBytes := reg.CounterVec("stream_link_bytes_total", "link")
+	p.vShardEvents = reg.CounterVec("stream_shard_events_total", "shard")
+	p.vShardBatches = reg.CounterVec("stream_shard_batches_total", "shard")
+	p.linkPktC = make([]*metrics.Counter, attr.NumLinks)
+	p.linkByteC = make([]*metrics.Counter, attr.NumLinks)
+	for l := 0; l < attr.NumLinks; l++ {
+		lbl := strconv.Itoa(l)
+		p.linkPktC[l] = vLinkPkts.With(lbl)
+		p.linkByteC[l] = vLinkBytes.With(lbl)
+	}
 
 	p.span = trace.Start("stream.pipeline")
 	if p.span != nil {
@@ -376,6 +396,11 @@ type batch struct {
 	// is the shard's watermark.
 	first time.Time
 	last  time.Time
+	// shardEvents/shardBatches are the owning worker's pre-resolved
+	// per-shard vector children, bumped once per flush (nil in tests
+	// that build batches directly).
+	shardEvents  *metrics.Counter
+	shardBatches *metrics.Counter
 }
 
 func newBatch(links int) *batch {
@@ -408,6 +433,9 @@ func (p *Pipeline) worker(shard int, ch chan amp.Event) {
 	ticker := time.NewTicker(p.cfg.FlushInterval)
 	defer ticker.Stop()
 	b := newBatch(p.attr.NumLinks)
+	shardLbl := strconv.Itoa(shard)
+	b.shardEvents = p.vShardEvents.With(shardLbl)
+	b.shardBatches = p.vShardBatches.With(shardLbl)
 	for {
 		select {
 		case ev, ok := <-ch:
@@ -490,6 +518,16 @@ func (p *Pipeline) flush(b *batch, wsp *trace.Span) {
 	p.mBytes.Add(b.totalB)
 	p.mSettle.Add(excluded)
 	p.mBatches.Inc()
+	for l, n := range b.pkts {
+		if n != 0 {
+			p.linkPktC[l].Add(n)
+			p.linkByteC[l].Add(b.bytes[l])
+		}
+	}
+	if b.shardEvents != nil {
+		b.shardEvents.Add(b.total)
+		b.shardBatches.Inc()
+	}
 	p.hBatch.Observe(float64(b.events))
 	// Stage lag is the age of the batch's oldest event at flush time; the
 	// watermark is the newest event time this shard has pushed downstream.

@@ -30,6 +30,10 @@ echo "==> engine micro-benchmarks (-benchtime $ENGINE_BENCHTIME)"
 go test ./internal/bgp/ -run '^$' -bench 'Propagate' -benchmem \
 	-benchtime "$ENGINE_BENCHTIME" | tee "$TMP"
 
+echo "==> metrics hot-path benchmarks (labeled vector vs plain counter)"
+go test ./internal/metrics/ -run '^$' -bench 'PlainCounter|VecObserve' -benchmem \
+	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
+
 echo "==> figure benchmarks (-benchtime $FIGURE_BENCHTIME)"
 go test . -run '^$' -bench '.' -benchmem \
 	-benchtime "$FIGURE_BENCHTIME" -timeout 60m | tee -a "$TMP"

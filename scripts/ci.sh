@@ -16,8 +16,8 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (stream, amp, core, bgp, trace)"
-go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/...
+echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch)"
+go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/...
 
 echo "==> bench smoke (PropagateFullScale, 1 iteration)"
 go test ./internal/bgp/ -run '^$' -bench 'PropagateFullScale' -benchmem -benchtime 1x

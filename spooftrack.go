@@ -33,6 +33,7 @@ import (
 	"spooftrack/internal/bgp"
 	"spooftrack/internal/cluster"
 	"spooftrack/internal/core"
+	"spooftrack/internal/metrics"
 	"spooftrack/internal/peering"
 	"spooftrack/internal/report"
 	"spooftrack/internal/sched"
@@ -126,6 +127,9 @@ type TrackerParams struct {
 	Progress func(done, total int)
 	// Ctx, if non-nil, cancels the campaign deployment early.
 	Ctx context.Context
+	// Metrics, if non-nil, receives campaign instrumentation (per-phase
+	// wall-clock histograms and configuration counters).
+	Metrics *metrics.Registry
 }
 
 // DefaultTrackerParams returns paper-scale tracker parameters.
@@ -153,7 +157,7 @@ func NewTracker(p TrackerParams) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	camp, err := w.RunCampaign(plan, core.CampaignOptions{UseTruth: p.UseTruth, Progress: p.Progress, Ctx: p.Ctx})
+	camp, err := w.RunCampaign(plan, core.CampaignOptions{UseTruth: p.UseTruth, Progress: p.Progress, Ctx: p.Ctx, Metrics: p.Metrics})
 	if err != nil {
 		return nil, err
 	}
