@@ -11,6 +11,7 @@
 // HTTP endpoints (on -listen):
 //
 //	/status       pipeline snapshot: clusters, per-link rates, top sources
+//	/faults       fault-injection stats and per-link circuit-breaker health
 //	/metrics      counters, gauges, histograms and labeled vectors; JSON by
 //	              default, Prometheus text format via Accept: text/plain or
 //	              ?format=prometheus
@@ -54,6 +55,8 @@ import (
 	"spooftrack/internal/amp"
 	"spooftrack/internal/core"
 	"spooftrack/internal/metrics"
+	"spooftrack/internal/peering"
+	"spooftrack/internal/sched"
 	"spooftrack/internal/stream"
 	"spooftrack/internal/trace"
 	"spooftrack/internal/watch"
@@ -84,6 +87,11 @@ func main() {
 		lagSLO        = flag.Float64("slo-flush-lag", 2.0, "flush-lag p99 SLO in seconds")
 		dropSLO       = flag.Float64("slo-drop-rate", 100, "border drop-rate SLO in packets/second")
 		hitSLO        = flag.Float64("slo-cache-hit", 0.10, "outcome-cache hit-rate floor (0..1)")
+		shedSLO       = flag.Float64("slo-shed-rate", 50, "pipeline shed-rate SLO in events/second")
+		faultProfile  = flag.String("fault-profile", "", "fault-injection scenario (flaky-mux, slow-converge, feed-gap, tap-drop, chaos; empty = off)")
+		faultSeed     = flag.Uint64("fault-seed", 1, "deterministic fault-injection seed")
+		deployRetries = flag.Int("deploy-retries", 4, "max deploy/measure attempts per configuration")
+		shed          = flag.Bool("shed", false, "shed events when ingest queues overflow instead of applying backpressure")
 	)
 	flag.Parse()
 
@@ -118,6 +126,16 @@ func main() {
 	params.World.Topo = &tp
 	params.World.MaxPoisonTargets = *poison
 	params.UseTruth = true
+	params.Metrics = reg
+	params.FaultProfile = *faultProfile
+	params.FaultSeed = *faultSeed
+	retry := spooftrack.DefaultRetryPolicy()
+	retry.MaxAttempts = *deployRetries
+	params.Retry = retry
+	if *faultProfile != "" {
+		slog.Info("fault injection enabled", "profile", *faultProfile, "seed", *faultSeed,
+			"retries", *deployRetries)
+	}
 	slog.Info("offline: building world and measuring campaign catchments", "ases", *ases)
 	tracker, err := spooftrack.NewTracker(params)
 	if err != nil {
@@ -128,6 +146,10 @@ func main() {
 	platform := tracker.World.Platform
 	slog.Info("offline phase complete",
 		"configs", camp.NumConfigs(), "sources", camp.NumSources(), "links", platform.NumLinks())
+	if len(camp.Incomplete) > 0 {
+		slog.Warn("campaign degraded: some configurations permanently failed; localization proceeds with coarser clusters",
+			"incomplete", camp.Incomplete)
+	}
 
 	// Outcome-cache effectiveness, read on demand at /metrics scrapes.
 	reg.GaugeFunc("bgp_outcome_cache_hits", func() float64 {
@@ -175,6 +197,12 @@ func main() {
 		MaxOnlineConfigs: *maxConfigs,
 		Settle:           *settle,
 		Metrics:          reg,
+		Shed:             *shed,
+		// Configurations whose links are quarantined by the circuit
+		// breaker are routed around until the breaker cools down.
+		Blocked: func() []bool {
+			return sched.QuarantineMask(tracker.Plan, platform.Health().IsQuarantined)
+		},
 		Deploy: func(cfgIdx int, table map[uint32]uint8) {
 			border.SetCatchments(table)
 			slog.Info("deploy", "config", cfgIdx, "routed_sources", len(table))
@@ -184,7 +212,13 @@ func main() {
 		slog.Error("pipeline failed", "err", err)
 		os.Exit(1)
 	}
-	hp.SetTap(func(ev amp.Event) { pipe.Ingest(ev) })
+	tap := amp.Tap(func(ev amp.Event) { pipe.Ingest(ev) })
+	if tracker.Fault != nil {
+		// Event-tap drops ride the same injector: the pipeline sees a
+		// lossy feed, exercising the degradation path end to end.
+		tap = tracker.Fault.WrapTap(tap)
+	}
+	hp.SetTap(tap)
 
 	// SLO watchdog: flight-record registry snapshots and drop a diagnostic
 	// bundle when the live loop degrades past its objectives.
@@ -211,6 +245,14 @@ func main() {
 				For:       3,
 			},
 			{
+				Name:      "stream-shed-rate",
+				Expr:      watch.Metric("stream_dropped_total"),
+				Rate:      true,
+				Op:        watch.Above,
+				Threshold: *shedSLO,
+				For:       3,
+			},
+			{
 				Name: "outcome-cache-hit-rate",
 				Expr: watch.Ratio(
 					watch.Series("bgp_outcome_cache_requests_total", "result=hit"),
@@ -228,11 +270,11 @@ func main() {
 	dog.Start()
 	defer dog.Stop()
 
-	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog)}
+	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health())}
 	httpErr := make(chan error, 1)
 	go func() {
 		slog.Info("http listening", "addr", *listen,
-			"endpoints", "/status /metrics /evidence /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
+			"endpoints", "/status /faults /metrics /evidence /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
 		httpErr <- srv.ListenAndServe()
 	}()
 	slog.Info("packet plane up: point spoofed traffic at the border",
@@ -337,15 +379,45 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
+// faultsStatus is the /faults payload: injector stats (profile "none"
+// when no fault profile is active), per-link circuit-breaker health, and
+// the pipeline's degradation state.
+type faultsStatus struct {
+	Profile       string                   `json:"profile"`
+	Seed          uint64                   `json:"seed,omitempty"`
+	Injected      map[string]int64         `json:"injected,omitempty"`
+	Links         []peering.LinkHealthStat `json:"links,omitempty"`
+	Quarantined   []spooftrack.LinkID      `json:"quarantined,omitempty"`
+	Degraded      bool                     `json:"degraded"`
+	DroppedEvents int64                    `json:"dropped_events"`
+}
+
 // newMux assembles the daemon's HTTP surface: pipeline introspection,
 // metrics, the trace journal, the SLO watchdog (readiness and bundles),
-// and the standard pprof endpoints. dog may be nil (no watchdog:
-// /readyz degrades to a pipeline-started check, /slo and /debug/bundle
-// report 404).
-func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog) *http.ServeMux {
+// fault-injection state, and the standard pprof endpoints. dog may be
+// nil (no watchdog: /readyz degrades to a pipeline-started check, /slo
+// and /debug/bundle report 404); inj and health may be nil (no injector
+// / no platform).
+func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, pipe.Status(10))
+	})
+	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) {
+		fs := faultsStatus{
+			Profile:       "none",
+			Degraded:      pipe.Degraded(),
+			DroppedEvents: pipe.Dropped(),
+		}
+		if inj != nil {
+			st := inj.Stats()
+			fs.Profile, fs.Seed, fs.Injected = st.Profile, st.Seed, st.Counts
+		}
+		if health != nil {
+			fs.Links = health.Snapshot()
+			fs.Quarantined = health.Quarantined()
+		}
+		writeJSON(w, fs)
 	})
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/evidence", func(w http.ResponseWriter, r *http.Request) {
@@ -421,6 +493,19 @@ func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog 
 			_ = json.NewEncoder(w).Encode(map[string]any{
 				"ready":    false,
 				"breaches": dog.BreachingRules(),
+			})
+			return
+		}
+		// Overload shedding is a degraded state: the pipeline is up but
+		// dropping events, so pull the daemon out of rotation until the
+		// controller observes the queues drain.
+		if pipe.Degraded() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"ready":          false,
+				"degraded":       true,
+				"dropped_events": pipe.Dropped(),
 			})
 			return
 		}

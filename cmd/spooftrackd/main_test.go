@@ -11,6 +11,7 @@ import (
 
 	"spooftrack/internal/bgp"
 	"spooftrack/internal/metrics"
+	"spooftrack/internal/peering"
 	"spooftrack/internal/stream"
 	"spooftrack/internal/topo"
 	"spooftrack/internal/trace"
@@ -47,7 +48,7 @@ func testMuxWatch(t *testing.T, rules []watch.Rule, bundleDir string) (*http.Ser
 		Tracer:    tr,
 		BundleDir: bundleDir,
 	})
-	return newMux(pipe, reg, tr, dog), dog
+	return newMux(pipe, reg, tr, dog, nil, peering.NewLinkHealth(2, 0, 0)), dog
 }
 
 func get(t *testing.T, mux *http.ServeMux, path string) (*http.Response, string) {
@@ -153,6 +154,31 @@ func TestDebugBundleServesLatestBundle(t *testing.T) {
 	if len(bundle.Snapshots) == 0 || bundle.Goroutine == "" {
 		t.Fatalf("bundle incomplete: %d snapshots, goroutine %d bytes",
 			len(bundle.Snapshots), len(bundle.Goroutine))
+	}
+}
+
+func TestFaultsEndpointNoInjector(t *testing.T) {
+	res, body := get(t, testMux(t), "/faults")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("faults: status %d", res.StatusCode)
+	}
+	var fs faultsStatus
+	if err := json.Unmarshal([]byte(body), &fs); err != nil {
+		t.Fatalf("faults is not JSON: %v\n%s", err, body)
+	}
+	if fs.Profile != "none" {
+		t.Fatalf("profile = %q, want none (no injector wired)", fs.Profile)
+	}
+	if len(fs.Links) != 2 {
+		t.Fatalf("links = %d, want 2", len(fs.Links))
+	}
+	for _, l := range fs.Links {
+		if l.State != "closed" {
+			t.Fatalf("link %d breaker = %q, want closed", l.Link, l.State)
+		}
+	}
+	if fs.Degraded || fs.DroppedEvents != 0 {
+		t.Fatalf("fresh pipeline reports degraded=%v dropped=%d", fs.Degraded, fs.DroppedEvents)
 	}
 }
 

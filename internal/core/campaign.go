@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,8 +50,22 @@ type CampaignOptions struct {
 	Ctx context.Context
 	// Metrics, if non-nil, receives per-phase campaign instrumentation:
 	// core_campaign_phase_seconds{phase="deploy"|"measure"} wall-clock
-	// histograms and core_campaign_configs_total{phase} counters.
+	// histograms, core_campaign_configs_total{phase} counters, plus
+	// core_campaign_retries_total{phase} and
+	// core_campaign_incomplete_configs_total under faults.
 	Metrics *metrics.Registry
+	// Retry controls per-configuration retry of faulted deployment and
+	// measurement attempts (exponential backoff + deterministic jitter,
+	// honoring Ctx). The zero policy makes every fault fatal, which is
+	// the fault-free behaviour. Deployment faults come from the
+	// platform's fault hook (peering.Platform.SetFaultHook); measurement
+	// faults from MeasureFault.
+	Retry RetryPolicy
+	// MeasureFault, if non-nil, injects measurement-attempt faults
+	// (and, when it also implements MeasureMasker, partial catchment
+	// visibility on successful measurements). fault.Injector implements
+	// both. Nil costs the hot path nothing.
+	MeasureFault MeasureFaultHook
 }
 
 // Campaign is the result of deploying a plan: per-configuration routing
@@ -72,8 +87,25 @@ type Campaign struct {
 	Catchments [][]bgp.LinkID
 	// Imputed is the imputation report (nil with UseTruth).
 	Imputed *measure.ImputeResult
+	// Incomplete lists the plan indices of configurations permanently
+	// lost to faults (retries exhausted under a degrading RetryPolicy),
+	// ascending. Their catchment rows are all-unknown (bgp.NoLink), so
+	// clustering never splits on them: the final partition is provably a
+	// coarsening of the fault-free partition. Empty on a clean run.
+	Incomplete []int
 	// Elapsed is the simulated experiment duration.
 	Elapsed time.Duration
+}
+
+// IsIncomplete reports whether configuration cfgIdx was permanently
+// lost to faults.
+func (c *Campaign) IsIncomplete(cfgIdx int) bool {
+	for _, i := range c.Incomplete {
+		if i == cfgIdx {
+			return true
+		}
+	}
+	return false
 }
 
 // RunCampaign deploys every configuration of the plan in order, measures
@@ -111,12 +143,16 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 	}
 
 	var phaseH *metrics.HistogramVec
-	var cfgC *metrics.CounterVec
+	var cfgC, retryC *metrics.CounterVec
+	var incompleteC *metrics.Counter
 	if opts.Metrics != nil {
 		phaseH = opts.Metrics.HistogramVec("core_campaign_phase_seconds",
 			[]string{"phase"}, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60, 600)
 		cfgC = opts.Metrics.CounterVec("core_campaign_configs_total", "phase")
+		retryC = opts.Metrics.CounterVec("core_campaign_retries_total", "phase")
+		incompleteC = opts.Metrics.Counter("core_campaign_incomplete_configs_total")
 	}
+	retry := opts.Retry
 
 	// Per-config RNGs split in plan order up front, so downstream results
 	// do not depend on execution parallelism.
@@ -155,21 +191,52 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 			dsp.Count("queue_wait_ns", time.Since(deployStart).Nanoseconds())
 			dsp.Set(trace.String("config", plan[i].Config.Key()))
 		}
-		if opts.NoOutcomeCache {
-			out, err := w.Platform.Engine().PropagateTraced(plan[i].Config, dsp)
-			if err == nil {
-				c.Outcomes[i] = &out
+		// Retry loop: each attempt goes through the platform's fault hook
+		// (if any). After CheckConstraints, propagation itself cannot fail,
+		// so every retryable error here is an injected deployment fault.
+		var out *bgp.Outcome
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = ctx.Err(); err != nil {
+				break
 			}
-			perrs[i] = err
-		} else {
-			c.Outcomes[i], perrs[i] = w.Platform.PropagateTraced(plan[i].Config, dsp)
+			out, err = w.Platform.PropagateAttempt(plan[i].Config, attempt, opts.NoOutcomeCache, dsp)
+			if err == nil || attempt+1 >= retry.attempts() {
+				if dsp != nil {
+					dsp.Count("attempts", int64(attempt+1))
+				}
+				break
+			}
+			if retryC != nil {
+				retryC.With("deploy").Inc()
+			}
+			if serr := sleepCtx(ctx, retry.Backoff(i, attempt)); serr != nil {
+				err = serr
+				break
+			}
 		}
+		c.Outcomes[i] = out
+		perrs[i] = err
 		dsp.End()
 	})
 	for i := range plan {
 		if err := perrs[i]; err != nil {
 			if ctx.Err() != nil {
 				return nil, fmt.Errorf("core: campaign canceled at config %d: %w", i, err)
+			}
+			if retry.DegradeOnExhaust && i != 0 {
+				// Permanently lost: record incomplete and move on. The
+				// config's catchment row stays all-unknown and the simulated
+				// clock does not advance for it (nothing was deployed).
+				c.Outcomes[i] = nil
+				c.Incomplete = append(c.Incomplete, i)
+				if incompleteC != nil {
+					incompleteC.Inc()
+				}
+				continue
+			}
+			if i == 0 && retry.DegradeOnExhaust {
+				return nil, fmt.Errorf("core: baseline config permanently lost (sources are derived from it): %w", err)
 			}
 			return nil, fmt.Errorf("core: config %d (%v): %w", i, plan[i].Config, err)
 		}
@@ -184,6 +251,8 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		// Measurement is independent per configuration: fan out.
 		c.Measurements = make([]*measure.CatchmentMeasurement, len(plan))
 		errs := make([]error, len(plan))
+		lost := make([]bool, len(plan))
+		masker, _ := opts.MeasureFault.(MeasureMasker)
 		var done int32
 		measureStart := time.Now()
 		runPoolSpans(csp, "campaign.measure.worker", workers, len(plan), func(i int, wsp *trace.Span) {
@@ -196,7 +265,56 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 				msp = wsp.Child("campaign.measure")
 				msp.Set(trace.Int("config", int64(i)))
 			}
-			m, err := w.MeasureOutcome(c.Outcomes[i], i, rngs[i])
+			if c.Outcomes[i] == nil {
+				// Deployment was permanently lost; nothing to measure.
+				c.Measurements[i] = measure.Unobserved(w.Graph.NumASes())
+				msp.End()
+				return
+			}
+			// Retry loop over injected measurement faults. Each attempt
+			// consumes a pristine copy of the config's pre-split RNG, so a
+			// successful retry yields the byte-identical measurement a
+			// fault-free run would have produced.
+			var m *measure.CatchmentMeasurement
+			var err error
+			for attempt := 0; ; attempt++ {
+				if err = ctx.Err(); err != nil {
+					break
+				}
+				if opts.MeasureFault != nil {
+					if err = opts.MeasureFault.Measure(i, attempt); err != nil {
+						if attempt+1 >= retry.attempts() {
+							break
+						}
+						if retryC != nil {
+							retryC.With("measure").Inc()
+						}
+						if serr := sleepCtx(ctx, retry.Backoff(i, attempt)); serr != nil {
+							err = serr
+						} else {
+							continue
+						}
+						break
+					}
+				}
+				r := *rngs[i]
+				m, err = w.MeasureOutcome(c.Outcomes[i], i, &r)
+				if msp != nil {
+					msp.Count("attempts", int64(attempt+1))
+				}
+				break
+			}
+			if err != nil && ctx.Err() == nil && retry.DegradeOnExhaust && i != 0 {
+				// Capture window permanently lost: keep an all-unknown
+				// measurement so imputation and clustering degrade instead of
+				// aborting.
+				m, err, lost[i] = measure.Unobserved(w.Graph.NumASes()), nil, true
+			}
+			if m != nil && masker != nil {
+				if hidden := masker.Mask(i, m); hidden > 0 && msp != nil {
+					msp.Count("masked_sources", int64(hidden))
+				}
+			}
 			msp.End()
 			c.Measurements[i] = m
 			errs[i] = err
@@ -209,9 +327,21 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		}
 		for i, err := range errs {
 			if err != nil {
+				if i == 0 && retry.DegradeOnExhaust {
+					return nil, fmt.Errorf("core: baseline measurement permanently lost (sources are derived from it): %w", err)
+				}
 				return nil, fmt.Errorf("core: config %d: %w", i, err)
 			}
 		}
+		for i, l := range lost {
+			if l && !c.IsIncomplete(i) {
+				c.Incomplete = append(c.Incomplete, i)
+				if incompleteC != nil {
+					incompleteC.Inc()
+				}
+			}
+		}
+		sort.Ints(c.Incomplete)
 		if phaseH != nil {
 			phaseH.With("measure").Observe(time.Since(measureStart).Seconds())
 			cfgC.With("measure").Add(int64(len(plan)))
@@ -236,8 +366,16 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		c.Catchments = make([][]bgp.LinkID, len(plan))
 		for cc, out := range c.Outcomes {
 			row := make([]bgp.LinkID, len(c.Sources))
-			for k, src := range c.Sources {
-				row[k] = out.CatchmentOf(src)
+			if out == nil {
+				// Permanently lost configuration: a uniform all-unknown row,
+				// which cluster.Refine never splits on.
+				for k := range row {
+					row[k] = bgp.NoLink
+				}
+			} else {
+				for k, src := range c.Sources {
+					row[k] = out.CatchmentOf(src)
+				}
 			}
 			c.Catchments[cc] = row
 		}

@@ -1,0 +1,332 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// campaign and streaming paths: probabilistic deploy and measurement
+// errors, injected deployment latency, peering-link flaps, dark
+// collector feeds, lost traceroute batches, partial catchment
+// visibility, and event-tap drops.
+//
+// The paper's method only works if the origin AS keeps deploying
+// configurations and measuring catchments while the real Internet
+// misbehaves — BGP convergence is slow and flappy, collector feeds go
+// dark, traceroutes are lost, and muxes fail mid-campaign (§V-C).
+// BGPeek-a-Boo (Krupp & Rossow) makes the same argument for active BGP
+// traceback: deployments must tolerate noisy, partially-failing
+// measurements, not assume a clean oracle. This package is the
+// misbehaving Internet: it plugs into peering.Platform (deploy faults
+// and link flaps, via the platform's FaultHook), core.RunCampaign
+// (measurement faults and visibility masking, via CampaignOptions), and
+// the amp event taps (drops, via WrapTap).
+//
+// Every decision is a pure function of (seed, fault kind, site key,
+// attempt) — never of execution order or wall clock — so a chaos run is
+// bit-reproducible at any parallelism: the same configuration fails the
+// same attempts under the same profile and seed, which is what lets the
+// chaos tests assert that retried campaigns converge to the fault-free
+// clusters. The only exception is the event-tap drop stream, which is
+// keyed on an arrival sequence number (per-packet arrival order is
+// inherently racy; determinism there would be a lie).
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"spooftrack/internal/amp"
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/measure"
+	"spooftrack/internal/metrics"
+	"spooftrack/internal/topo"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// KindDeployFail is a failed deployment attempt (mux unreachable,
+	// announcement rejected, convergence never observed).
+	KindDeployFail Kind = iota
+	// KindMeasureFail is a lost measurement round (probe batch lost,
+	// collector session down before the capture window closed).
+	KindMeasureFail
+	// KindLinkFlap is a peering-link flap observed during a deployment
+	// attempt; flaps feed the platform's link-health breaker.
+	KindLinkFlap
+	// KindTapDrop is a per-packet event lost between the honeypot tap
+	// and the streaming pipeline.
+	KindTapDrop
+	// KindFeedGap is a route collector whose feed is dark for a
+	// configuration's capture window.
+	KindFeedGap
+	// KindProbeLoss is a traceroute dropped from an observation beyond
+	// the measurement model's own noise.
+	KindProbeLoss
+	// KindLatency is injected deployment latency (slow convergence).
+	KindLatency
+	// KindHidden is a source hidden from an otherwise successful
+	// catchment measurement (partial visibility).
+	KindHidden
+
+	numKinds
+)
+
+// String names the kind as used in metrics labels and /faults output.
+func (k Kind) String() string {
+	switch k {
+	case KindDeployFail:
+		return "deploy_fail"
+	case KindMeasureFail:
+		return "measure_fail"
+	case KindLinkFlap:
+		return "link_flap"
+	case KindTapDrop:
+		return "tap_drop"
+	case KindFeedGap:
+		return "feed_gap"
+	case KindProbeLoss:
+		return "probe_loss"
+	case KindLatency:
+		return "latency"
+	case KindHidden:
+		return "hidden_source"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injector injects the faults described by a Profile. All methods are
+// safe for concurrent use; injection counts are kept per kind and
+// optionally mirrored into a metrics registry (Instrument).
+type Injector struct {
+	profile  Profile
+	seed     uint64
+	numLinks int
+
+	counts   [numKinds]atomic.Int64
+	counters atomic.Pointer[[numKinds]*metrics.Counter]
+	tapSeq   atomic.Uint64
+
+	// sleep is replaceable in tests so latency profiles don't slow the
+	// suite down.
+	sleep func(time.Duration)
+}
+
+// New builds an injector for the profile, seed, and number of peering
+// links (flap decisions are rolled per link).
+func New(p Profile, seed uint64, numLinks int) *Injector {
+	return &Injector{profile: p, seed: seed, numLinks: numLinks, sleep: time.Sleep}
+}
+
+// Profile returns the profile the injector was built with.
+func (inj *Injector) Profile() Profile { return inj.profile }
+
+// Seed returns the injector's seed.
+func (inj *Injector) Seed() uint64 { return inj.seed }
+
+// roll returns a uniform [0,1) value that is a pure function of the
+// injector seed, the fault kind, the site key, and the salt.
+func (inj *Injector) roll(kind Kind, key string, salt uint64) float64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	h ^= inj.seed
+	h ^= (uint64(kind) + 1) * 0x9e3779b97f4a7c15
+	h ^= salt * 0xd6e8feb86659fd93
+	// SplitMix64 finalizer: decorrelates nearby sites and salts.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}
+
+func (inj *Injector) count(k Kind) {
+	inj.counts[k].Add(1)
+	if cs := inj.counters.Load(); cs != nil {
+		cs[k].Inc()
+	}
+}
+
+// Instrument mirrors injection counts into the registry as
+// fault_injected_total{kind=...}. Call once, before injection starts.
+func (inj *Injector) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	vec := reg.CounterVec("fault_injected_total", "kind")
+	var cs [numKinds]*metrics.Counter
+	for k := Kind(0); k < numKinds; k++ {
+		cs[k] = vec.With(k.String())
+	}
+	inj.counters.Store(&cs)
+}
+
+// Deploy implements the platform's deployment fault hook: it injects
+// convergence latency, rolls per-link flaps, and decides whether this
+// attempt of the configuration fails. flapped is reported even when the
+// attempt succeeds — links can flap without sinking a deployment — and
+// feeds the platform's link-health breaker.
+func (inj *Injector) Deploy(cfgKey string, attempt int) (flapped []bgp.LinkID, err error) {
+	pr := &inj.profile
+	if d := pr.DeployLatency; d > 0 {
+		frac := inj.roll(KindLatency, cfgKey, uint64(attempt))
+		inj.count(KindLatency)
+		inj.sleep(time.Duration((0.5 + frac) * float64(d)))
+	}
+	if pr.PrLinkFlap > 0 {
+		for l := 0; l < inj.numLinks; l++ {
+			if inj.roll(KindLinkFlap, cfgKey, uint64(attempt)<<8|uint64(l)) < pr.PrLinkFlap {
+				flapped = append(flapped, bgp.LinkID(l))
+				inj.count(KindLinkFlap)
+			}
+		}
+	}
+	if pr.PrDeployFail > 0 && inj.roll(KindDeployFail, cfgKey, uint64(attempt)) < pr.PrDeployFail {
+		inj.count(KindDeployFail)
+		return flapped, fmt.Errorf("fault: injected deploy failure (config %q, attempt %d)", cfgKey, attempt)
+	}
+	return flapped, nil
+}
+
+// Measure implements the campaign's measurement fault hook: it decides
+// whether this measurement attempt of configuration cfgIdx is lost.
+func (inj *Injector) Measure(cfgIdx, attempt int) error {
+	if pr := inj.profile.PrMeasureFail; pr > 0 &&
+		inj.roll(KindMeasureFail, "", uint64(cfgIdx)<<16|uint64(attempt)) < pr {
+		inj.count(KindMeasureFail)
+		return fmt.Errorf("fault: injected measurement failure (config %d, attempt %d)", cfgIdx, attempt)
+	}
+	return nil
+}
+
+// DropEvent decides whether the next tapped per-packet event is lost.
+// Unlike the other sites, drops are keyed on arrival order (packet
+// arrival is inherently racy), so only the aggregate drop rate — not the
+// exact drop set — is reproducible.
+func (inj *Injector) DropEvent() bool {
+	p := inj.profile.PrTapDrop
+	if p <= 0 {
+		return false
+	}
+	if inj.roll(KindTapDrop, "", inj.tapSeq.Add(1)) < p {
+		inj.count(KindTapDrop)
+		return true
+	}
+	return false
+}
+
+// WrapTap wraps an amp event tap with the injector's tap-drop fault:
+// dropped events never reach t. A nil tap stays nil.
+func (inj *Injector) WrapTap(t amp.Tap) amp.Tap {
+	if t == nil {
+		return nil
+	}
+	return func(ev amp.Event) {
+		if inj.DropEvent() {
+			return
+		}
+		t(ev)
+	}
+}
+
+// FilterFeeds deletes collector feeds that are dark for configuration
+// cfgIdx under the profile's feed-gap probability, returning how many
+// were dropped. Decisions are per (config, collector), so a collector
+// dark for one configuration is dark on every retry of it — feed gaps
+// are capture-window outages, not per-read races.
+func (inj *Injector) FilterFeeds(cfgIdx int, paths map[int][]topo.ASN) (dropped int) {
+	p := inj.profile.PrFeedGap
+	if p <= 0 {
+		return 0
+	}
+	for c := range paths {
+		if inj.roll(KindFeedGap, "", uint64(cfgIdx)<<20|uint64(c)) < p {
+			delete(paths, c)
+			inj.count(KindFeedGap)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// PerturbObservation applies the profile's measurement-plane faults to
+// one configuration's observation in place: dark collector feeds and
+// lost traceroutes. It returns how many of each were dropped.
+func (inj *Injector) PerturbObservation(cfgIdx int, obs *measure.Observation) (feedsDropped, probesDropped int) {
+	feedsDropped = inj.FilterFeeds(cfgIdx, obs.BGPPaths)
+	if p := inj.profile.PrProbeLoss; p > 0 && len(obs.Traceroutes) > 0 {
+		kept := obs.Traceroutes[:0]
+		for i := range obs.Traceroutes {
+			if inj.roll(KindProbeLoss, "", uint64(cfgIdx)<<24|uint64(i)) < p {
+				inj.count(KindProbeLoss)
+				probesDropped++
+				continue
+			}
+			kept = append(kept, obs.Traceroutes[i])
+		}
+		obs.Traceroutes = kept
+	}
+	return feedsDropped, probesDropped
+}
+
+// HideSource reports whether source src is hidden from configuration
+// cfgIdx's catchment measurement (partial catchment visibility).
+func (inj *Injector) HideSource(cfgIdx, src int) bool {
+	p := inj.profile.HideVisibility
+	if p <= 0 {
+		return false
+	}
+	if inj.roll(KindHidden, "", uint64(cfgIdx)<<28|uint64(src)) < p {
+		inj.count(KindHidden)
+		return true
+	}
+	return false
+}
+
+// Mask implements the campaign's optional measurement masker: it
+// degrades a successful measurement in place by hiding a deterministic
+// subset of observed sources (partial catchment visibility). It returns
+// how many observations were hidden.
+func (inj *Injector) Mask(cfgIdx int, m *measure.CatchmentMeasurement) int {
+	if inj.profile.HideVisibility <= 0 {
+		return 0
+	}
+	hidden := 0
+	for i, obs := range m.Observed {
+		if obs && inj.HideSource(cfgIdx, i) {
+			m.Observed[i] = false
+			m.Catchment[i] = bgp.NoLink
+			hidden++
+		}
+	}
+	return hidden
+}
+
+// Count returns how many faults of the kind have been injected.
+func (inj *Injector) Count(k Kind) int64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return inj.counts[k].Load()
+}
+
+// Stats is a point-in-time injection summary, shaped for the daemon's
+// /faults endpoint.
+type Stats struct {
+	Profile string           `json:"profile"`
+	Seed    uint64           `json:"seed"`
+	Counts  map[string]int64 `json:"injected"`
+}
+
+// Stats snapshots the injector: profile, seed, and non-zero per-kind
+// injection counts.
+func (inj *Injector) Stats() Stats {
+	s := Stats{Profile: inj.profile.Name, Seed: inj.seed, Counts: make(map[string]int64)}
+	for k := Kind(0); k < numKinds; k++ {
+		if n := inj.counts[k].Load(); n != 0 {
+			s.Counts[k.String()] = n
+		}
+	}
+	return s
+}

@@ -1,29 +1,84 @@
-package measure
+// Failure injection: the inference pipeline must degrade gracefully
+// when measurement modalities disappear or misbehave. The failure modes
+// are driven by the shared fault scenario profiles (internal/fault)
+// rather than ad-hoc fixtures, so the campaign chaos tests and these
+// inference tests exercise the same fault schedules. The package is
+// external (measure_test) because fault imports measure.
+package measure_test
 
 import (
+	"reflect"
 	"testing"
 
+	"spooftrack/internal/addr"
 	"spooftrack/internal/bgp"
+	"spooftrack/internal/fault"
+	"spooftrack/internal/measure"
+	"spooftrack/internal/peering"
 	"spooftrack/internal/stats"
 	"spooftrack/internal/topo"
 )
 
-// Failure injection: the inference pipeline must degrade gracefully when
-// entire measurement modalities disappear or misbehave.
+// failureWorld bundles everything a degradation test needs.
+type failureWorld struct {
+	g        *topo.Graph
+	platform *peering.Platform
+	space    *addr.Space
+	vantages measure.VantageSet
+	input    measure.InferInput
+}
 
-func TestInferWithoutCollectors(t *testing.T) {
-	w := newMeasureWorld(t, 71, 800, 0, 300)
-	out, err := w.platform.Deploy(anycastAll(7))
+func newFailureWorld(t testing.TB, seed uint64, numASes, nCollectors, nProbes int) *failureWorld {
+	t.Helper()
+	p := topo.DefaultGenParams(seed)
+	p.NumASes = numASes
+	g, err := topo.Generate(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	obs := Collect(out, w.vantages, w.space, DefaultNoise(), stats.NewRNG(1))
-	if len(obs.BGPPaths) != 0 {
-		t.Fatal("expected no collector paths")
+	plat, err := peering.New(g, peering.Options{EngineParams: bgp.DefaultParams(seed)})
+	if err != nil {
+		t.Fatal(err)
 	}
-	m := Infer(obs, w.input)
+	space := addr.Allocate(g)
+	return &failureWorld{
+		g:        g,
+		platform: plat,
+		space:    space,
+		vantages: measure.ChooseVantages(g, seed, nCollectors, nProbes),
+		input: measure.InferInput{
+			Graph:     g,
+			Mapper:    addr.PerfectMapper{Space: space},
+			OriginASN: peering.PEERINGASN,
+			LinkOf: func(prov int) (bgp.LinkID, bool) {
+				return plat.LinkByProvider(g.ASN(prov))
+			},
+		},
+	}
+}
+
+func anycastAll(n int) bgp.Config {
+	anns := make([]bgp.Announcement, n)
+	for i := range anns {
+		anns[i] = bgp.Announcement{Link: bgp.LinkID(i)}
+	}
+	return bgp.Config{Anns: anns}
+}
+
+func scenario(t *testing.T, name string) fault.Profile {
+	t.Helper()
+	p, err := fault.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// wrongFraction counts observed cells whose inferred catchment differs
+// from the routing truth.
+func wrongFraction(m *measure.CatchmentMeasurement, out *bgp.Outcome) float64 {
 	if m.ObservedCount() == 0 {
-		t.Fatal("traceroutes alone should still observe ASes")
+		return 0
 	}
 	wrong := 0
 	for i := range m.Catchment {
@@ -31,93 +86,155 @@ func TestInferWithoutCollectors(t *testing.T) {
 			wrong++
 		}
 	}
-	if frac := float64(wrong) / float64(m.ObservedCount()); frac > 0.05 {
-		t.Fatalf("traceroute-only inference wrong for %.1f%%", frac*100)
+	return float64(wrong) / float64(m.ObservedCount())
+}
+
+// TestModalityLossScenarios: inference survives the total loss of one
+// measurement modality — what the feed-gap profile does in the extreme.
+func TestModalityLossScenarios(t *testing.T) {
+	cases := []struct {
+		name                  string
+		seed                  uint64
+		nCollectors, nProbes  int
+		noise                 measure.NoiseParams
+		wrongBudget           float64
+		wantNoFeeds, wantNoTR bool
+	}{
+		{name: "no-collectors", seed: 71, nCollectors: 0, nProbes: 300,
+			noise: measure.DefaultNoise(), wrongBudget: 0.05, wantNoFeeds: true},
+		{name: "no-probes", seed: 72, nCollectors: 150, nProbes: 0,
+			noise: measure.DefaultNoise(), wrongBudget: 0, wantNoTR: true},
+		{name: "total-probe-loss", seed: 74, nCollectors: 50, nProbes: 200,
+			noise: func() measure.NoiseParams {
+				n := measure.DefaultNoise()
+				n.PrProbeFail = 1.0
+				return n
+			}(), wrongBudget: 0, wantNoTR: true},
+		{name: "pathological-noise", seed: 75, nCollectors: 30, nProbes: 200,
+			noise:       measure.NoiseParams{PrUnresponsive: 0.7, PrIXPHop: 0.3, RoutersPerAS: 3, Rounds: 2},
+			wrongBudget: 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newFailureWorld(t, tc.seed, 800, tc.nCollectors, tc.nProbes)
+			out, err := w.platform.Deploy(anycastAll(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs := measure.Collect(out, w.vantages, w.space, tc.noise, stats.NewRNG(tc.seed))
+			if tc.wantNoFeeds && len(obs.BGPPaths) != 0 {
+				t.Fatal("expected no collector paths")
+			}
+			if tc.wantNoTR && len(obs.Traceroutes) != 0 {
+				t.Fatal("expected no traceroutes")
+			}
+			m := measure.Infer(obs, w.input)
+			if m.ObservedCount() == 0 {
+				t.Fatal("the surviving modality should still observe ASes")
+			}
+			if frac := wrongFraction(m, out); frac > tc.wrongBudget {
+				t.Fatalf("%s corrupted %.1f%% of observations (budget %.0f%%)",
+					tc.name, frac*100, tc.wrongBudget*100)
+			}
+		})
 	}
 }
 
-func TestInferWithoutProbes(t *testing.T) {
-	w := newMeasureWorld(t, 72, 800, 150, 0)
+// TestFeedGapProfileDegradesWithoutCorrupting: the feed-gap scenario
+// starves inference of collector feeds and traceroutes. Coverage may
+// shrink; the cells that survive must stay correct within the normal
+// noise budget.
+func TestFeedGapProfileDegradesWithoutCorrupting(t *testing.T) {
+	w := newFailureWorld(t, 76, 800, 100, 300)
 	out, err := w.platform.Deploy(anycastAll(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	obs := Collect(out, w.vantages, w.space, DefaultNoise(), stats.NewRNG(2))
-	if len(obs.Traceroutes) != 0 {
-		t.Fatal("expected no traceroutes")
+	clean := measure.Collect(out, w.vantages, w.space, measure.DefaultNoise(), stats.NewRNG(6))
+	base := measure.Infer(clean, w.input)
+
+	faulty := measure.Collect(out, w.vantages, w.space, measure.DefaultNoise(), stats.NewRNG(6))
+	inj := fault.New(scenario(t, "feed-gap"), 9, w.platform.NumLinks())
+	feeds, probes := inj.PerturbObservation(0, &faulty)
+	if feeds == 0 || probes == 0 {
+		t.Fatalf("feed-gap injected nothing (feeds=%d probes=%d)", feeds, probes)
 	}
-	m := Infer(obs, w.input)
+	if inj.Count(fault.KindFeedGap) != int64(feeds) || inj.Count(fault.KindProbeLoss) != int64(probes) {
+		t.Fatal("injector counters disagree with reported drops")
+	}
+	m := measure.Infer(faulty, w.input)
 	if m.ObservedCount() == 0 {
-		t.Fatal("BGP paths alone should still observe ASes")
+		t.Fatal("feed-gap must degrade coverage, not erase it")
 	}
-	// Control-plane evidence is exact in this simulator.
-	for i := range m.Catchment {
-		if m.Observed[i] && m.Catchment[i] != out.CatchmentOf(i) {
-			t.Fatal("BGP-only inference produced a wrong catchment")
-		}
+	if m.ObservedCount() > base.ObservedCount() {
+		t.Fatalf("dropping evidence grew coverage: %d > %d", m.ObservedCount(), base.ObservedCount())
+	}
+	if frac := wrongFraction(m, out); frac > 0.05 {
+		t.Fatalf("feed-gap corrupted %.1f%% of surviving observations", frac*100)
+	}
+}
+
+// TestFeedGapStableAcrossRetries: the profile's fault schedule is a
+// function of (seed, config, site), not of time or call order — two
+// identical collections perturbed by two identically-seeded injectors
+// end up byte-identical, which is what makes campaign retries
+// reproducible.
+func TestFeedGapStableAcrossRetries(t *testing.T) {
+	w := newFailureWorld(t, 77, 600, 80, 200)
+	out, err := w.platform.Deploy(anycastAll(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := func() measure.Observation {
+		obs := measure.Collect(out, w.vantages, w.space, measure.DefaultNoise(), stats.NewRNG(4))
+		inj := fault.New(scenario(t, "feed-gap"), 21, w.platform.NumLinks())
+		inj.PerturbObservation(3, &obs)
+		return obs
+	}
+	a, b := perturbed(), perturbed()
+	if !reflect.DeepEqual(a.BGPPaths, b.BGPPaths) {
+		t.Fatal("feed gaps differ across retries of the same configuration")
+	}
+	if !reflect.DeepEqual(a.Traceroutes, b.Traceroutes) {
+		t.Fatal("probe losses differ across retries of the same configuration")
+	}
+	// A different configuration draws a different schedule.
+	obs := measure.Collect(out, w.vantages, w.space, measure.DefaultNoise(), stats.NewRNG(4))
+	inj := fault.New(scenario(t, "feed-gap"), 21, w.platform.NumLinks())
+	inj.PerturbObservation(4, &obs)
+	if reflect.DeepEqual(a.BGPPaths, obs.BGPPaths) && reflect.DeepEqual(a.Traceroutes, obs.Traceroutes) {
+		t.Fatal("different configurations drew identical fault schedules")
 	}
 }
 
 func TestInferEmptyObservation(t *testing.T) {
-	w := newMeasureWorld(t, 73, 400, 10, 10)
-	m := Infer(Observation{BGPPaths: map[int][]topo.ASN{}}, w.input)
+	w := newFailureWorld(t, 73, 400, 10, 10)
+	m := measure.Infer(measure.Observation{BGPPaths: map[int][]topo.ASN{}}, w.input)
 	if m.ObservedCount() != 0 || m.MultiCatchment != 0 {
 		t.Fatal("empty observation should observe nothing")
 	}
 }
 
-func TestInferTotalProbeLoss(t *testing.T) {
-	w := newMeasureWorld(t, 74, 600, 50, 200)
-	out, err := w.platform.Deploy(anycastAll(7))
-	if err != nil {
-		t.Fatal(err)
-	}
-	noise := DefaultNoise()
-	noise.PrProbeFail = 1.0 // every traceroute lost
-	obs := Collect(out, w.vantages, w.space, noise, stats.NewRNG(3))
-	if len(obs.Traceroutes) != 0 {
-		t.Fatal("probe loss not applied")
-	}
-	m := Infer(obs, w.input)
-	if m.ObservedCount() == 0 {
-		t.Fatal("collector evidence should survive probe loss")
-	}
-}
-
-func TestInferSurvivesPathologicalNoise(t *testing.T) {
-	// Extreme unresponsiveness: inference must not crash and must not
-	// fabricate much. Accuracy bounds are loose by design.
-	w := newMeasureWorld(t, 75, 600, 30, 200)
-	out, err := w.platform.Deploy(anycastAll(7))
-	if err != nil {
-		t.Fatal(err)
-	}
-	noise := NoiseParams{PrUnresponsive: 0.7, PrIXPHop: 0.3, RoutersPerAS: 3, Rounds: 2}
-	obs := Collect(out, w.vantages, w.space, noise, stats.NewRNG(4))
-	m := Infer(obs, w.input)
-	wrong := 0
-	for i := range m.Catchment {
-		if m.Observed[i] && m.Catchment[i] != out.CatchmentOf(i) {
-			wrong++
-		}
-	}
-	if m.ObservedCount() > 0 {
-		if frac := float64(wrong) / float64(m.ObservedCount()); frac > 0.25 {
-			t.Fatalf("pathological noise corrupted %.1f%% of observations", frac*100)
-		}
-	}
-}
-
-func TestImputeAllMissingConfig(t *testing.T) {
-	// A configuration where nothing was observed: smax is also blind
-	// there, so every cell stays unknown and clustering by that config
-	// cannot split anything.
-	mk := func(links []bgp.LinkID, observed []bool) *CatchmentMeasurement {
-		return &CatchmentMeasurement{Catchment: links, Observed: observed}
+// TestBlackoutMaskThenImpute: a profile hiding every source turns a
+// configuration's measurement into a blackout; smax imputation is also
+// blind there, so every cell stays unknown and clustering by that
+// configuration cannot split anything.
+func TestBlackoutMaskThenImpute(t *testing.T) {
+	mk := func(links []bgp.LinkID, observed []bool) *measure.CatchmentMeasurement {
+		return &measure.CatchmentMeasurement{Catchment: links, Observed: observed}
 	}
 	baseline := mk([]bgp.LinkID{0, 0, 1, 1}, []bool{true, true, true, true})
-	blackout := mk([]bgp.LinkID{bgp.NoLink, bgp.NoLink, bgp.NoLink, bgp.NoLink}, []bool{false, false, false, false})
-	res := Impute([]*CatchmentMeasurement{baseline, blackout})
+	blackout := mk([]bgp.LinkID{0, 1, 0, 1}, []bool{true, true, true, true})
+	inj := fault.New(fault.Profile{Name: "blackout", HideVisibility: 1.0}, 5, 2)
+	if hidden := inj.Mask(1, blackout); hidden != 4 {
+		t.Fatalf("full-visibility mask hid %d of 4", hidden)
+	}
+	for i := range blackout.Catchment {
+		if blackout.Observed[i] || blackout.Catchment[i] != bgp.NoLink {
+			t.Fatal("masked cells must be unobserved and unrouted")
+		}
+	}
+	res := measure.Impute([]*measure.CatchmentMeasurement{baseline, blackout})
 	if len(res.Sources) != 4 {
 		t.Fatalf("sources = %v", res.Sources)
 	}
@@ -128,5 +245,38 @@ func TestImputeAllMissingConfig(t *testing.T) {
 	}
 	if res.Imputed != 0 {
 		t.Fatalf("Imputed = %d, want 0 (nothing to copy from)", res.Imputed)
+	}
+}
+
+// TestPartialMaskIsDeterministic: the same (config, source) pair is
+// hidden or visible consistently across retries, and masking only ever
+// removes evidence.
+func TestPartialMaskIsDeterministic(t *testing.T) {
+	const n = 200
+	mk := func() *measure.CatchmentMeasurement {
+		m := &measure.CatchmentMeasurement{
+			Catchment: make([]bgp.LinkID, n),
+			Observed:  make([]bool, n),
+		}
+		for i := range m.Observed {
+			m.Catchment[i] = bgp.LinkID(i % 3)
+			m.Observed[i] = true
+		}
+		return m
+	}
+	prof := scenario(t, "feed-gap")
+	a, b := mk(), mk()
+	ha := fault.New(prof, 8, 2).Mask(2, a)
+	hb := fault.New(prof, 8, 2).Mask(2, b)
+	if ha == 0 || ha == n {
+		t.Fatalf("partial visibility hid %d of %d", ha, n)
+	}
+	if ha != hb || !reflect.DeepEqual(a, b) {
+		t.Fatal("mask differs across retries of the same configuration")
+	}
+	for i := range a.Observed {
+		if a.Observed[i] && a.Catchment[i] != bgp.LinkID(i%3) {
+			t.Fatal("mask corrupted a surviving cell")
+		}
 	}
 }

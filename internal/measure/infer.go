@@ -22,6 +22,22 @@ type CatchmentMeasurement struct {
 	MultiCatchment int
 }
 
+// Unobserved returns an n-AS measurement with no evidence at all: every
+// catchment bgp.NoLink, nothing observed. Campaigns record it for
+// configurations whose measurement was permanently lost (fault retries
+// exhausted); Impute leaves its unknown cells unknown, so localization
+// proceeds with partial intersections instead of aborting.
+func Unobserved(n int) *CatchmentMeasurement {
+	m := &CatchmentMeasurement{
+		Catchment: make([]bgp.LinkID, n),
+		Observed:  make([]bool, n),
+	}
+	for i := range m.Catchment {
+		m.Catchment[i] = bgp.NoLink
+	}
+	return m
+}
+
 // ObservedCount returns the number of ASes with any evidence.
 func (m *CatchmentMeasurement) ObservedCount() int {
 	n := 0

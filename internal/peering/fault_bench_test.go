@@ -1,0 +1,70 @@
+package peering
+
+import (
+	"testing"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/fault"
+)
+
+func benchConfig(p *Platform) bgp.Config {
+	anns := make([]bgp.Announcement, p.NumLinks())
+	for i := range anns {
+		anns[i] = bgp.Announcement{Link: bgp.LinkID(i)}
+	}
+	return bgp.Config{Anns: anns}
+}
+
+// BenchmarkPlatformPropagateFaultsOff is the hot path with no fault hook
+// installed: it must stay within the 5% budget of plain Propagate
+// (scripts/bench.sh compares the two).
+func BenchmarkPlatformPropagateFaultsOff(b *testing.B) {
+	p := platformForTest(b, 2000)
+	cfg := benchConfig(p)
+	if _, err := p.PropagateAttempt(cfg, 0, true, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PropagateAttempt(cfg, 0, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlatformPropagateBaseline is plain Propagate on the same
+// platform and configuration — the reference for the fault-off budget.
+func BenchmarkPlatformPropagateBaseline(b *testing.B) {
+	p := platformForTest(b, 2000)
+	cfg := benchConfig(p)
+	if _, err := p.engine.Propagate(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.engine.Propagate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlatformPropagateFaultsOn measures the injected-fault path
+// (chaos profile, latency zeroed so the bench measures bookkeeping, not
+// sleeps). Failed attempts are part of the measured work.
+func BenchmarkPlatformPropagateFaultsOn(b *testing.B) {
+	p := platformForTest(b, 2000)
+	prof, err := fault.ProfileByName("chaos")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof.DeployLatency = 0
+	p.SetFaultHook(fault.New(prof, 7, p.NumLinks()))
+	cfg := benchConfig(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PropagateAttempt(cfg, i, true, nil)
+	}
+}

@@ -96,6 +96,22 @@ type Platform struct {
 	converged time.Duration
 	deployed  int
 	history   []bgp.Config
+
+	// hook, when set, injects deployment faults (latency, link flaps,
+	// failed attempts); health is the per-link breaker the hook's flap
+	// and failure reports feed. The hot path pays nothing when no hook
+	// is installed.
+	hook   FaultHook
+	health *LinkHealth
+}
+
+// FaultHook injects deployment faults. Deploy is called once per
+// deployment attempt with the configuration's canonical key; it returns
+// the links that flapped during the attempt (reported to the link-health
+// breaker even on success) and a non-nil error when the attempt fails.
+// internal/fault.Injector implements it.
+type FaultHook interface {
+	Deploy(cfgKey string, attempt int) ([]bgp.LinkID, error)
 }
 
 // Options configures platform construction.
@@ -155,6 +171,7 @@ func New(g *topo.Graph, opts Options) (*Platform, error) {
 	if !opts.DisableOutcomeCache {
 		p.cache = bgp.NewOutcomeCache()
 	}
+	p.health = NewLinkHealth(len(muxes), 0, 0)
 	return p, nil
 }
 
@@ -295,6 +312,61 @@ func (p *Platform) PropagateTraced(cfg bgp.Config, parent *trace.Span) (*bgp.Out
 		return nil, err
 	}
 	return &out, nil
+}
+
+// SetFaultHook installs a deployment fault injector. Call before the
+// campaign starts; a nil hook restores the fault-free fast path.
+func (p *Platform) SetFaultHook(h FaultHook) { p.hook = h }
+
+// Health returns the per-link breaker tracking deployment health. It is
+// always non-nil; without a fault hook it simply never trips.
+func (p *Platform) Health() *LinkHealth { return p.health }
+
+// PropagateAttempt runs one deployment attempt of the configuration:
+// the fault hook (if any) first injects convergence latency, link
+// flaps, and attempt failures — flaps and failures are charged to the
+// link-health breaker, clean announcements credited — and then the
+// outcome is computed as in PropagateTraced (bypassing the outcome
+// cache when noCache is set). Safe for concurrent use; the breaker
+// never influences the returned outcome, so campaign results stay
+// deterministic under any fault profile.
+func (p *Platform) PropagateAttempt(cfg bgp.Config, attempt int, noCache bool, parent *trace.Span) (*bgp.Outcome, error) {
+	if p.hook != nil {
+		flapped, err := p.hook.Deploy(cfg.Key(), attempt)
+		for _, l := range flapped {
+			p.health.ReportFailure(l)
+		}
+		for _, a := range cfg.Anns {
+			if containsLink(flapped, a.Link) {
+				continue
+			}
+			if err != nil {
+				p.health.ReportFailure(a.Link)
+			} else {
+				p.health.ReportSuccess(a.Link)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if noCache || p.cache == nil {
+		out, err := p.engine.PropagateTraced(cfg, parent)
+		if err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+	return p.cache.PropagateTraced(p.engine, cfg, parent)
+}
+
+func containsLink(xs []bgp.LinkID, v bgp.LinkID) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Record accounts for one deployment of the configuration: it advances

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/cluster"
+)
+
+// maskCatchments: config 0 splits {0,1}|{2,3}, config 1 splits
+// {0,2}|{1,3}, config 2 splits {0}|{1,2,3} less evenly.
+var maskCatchments = [][]bgp.LinkID{
+	{0, 0, 1, 1},
+	{0, 1, 0, 1},
+	{0, 1, 1, 1},
+}
+
+func TestNextGreedyMasked(t *testing.T) {
+	p := cluster.New(4)
+	used := make([]bool, 3)
+	if got := NextGreedyMasked(p, maskCatchments, used, nil); got != 0 {
+		t.Fatalf("nil mask: NextGreedyMasked = %d, want 0 (NextGreedy tie-break)", got)
+	}
+	if a, b := NextGreedy(p, maskCatchments, used), NextGreedyMasked(p, maskCatchments, used, nil); a != b {
+		t.Fatalf("NextGreedy %d != NextGreedyMasked nil %d", a, b)
+	}
+	// Quarantine config 0: planning routes around it.
+	blocked := []bool{true, false, false}
+	if got := NextGreedyMasked(p, maskCatchments, used, blocked); got != 1 {
+		t.Fatalf("masked: NextGreedyMasked = %d, want 1", got)
+	}
+	// Everything blocked or used → -1.
+	if got := NextGreedyMasked(p, maskCatchments, []bool{false, true, true}, []bool{true, false, false}); got != -1 {
+		t.Fatalf("all unavailable: got %d, want -1", got)
+	}
+}
+
+func TestNextGreedyVolumeMasked(t *testing.T) {
+	p := cluster.New(4)
+	vol := []float64{1, 1, 1, 1}
+	used := make([]bool, 3)
+	a := NextGreedyVolume(p, maskCatchments, vol, used)
+	if b := NextGreedyVolumeMasked(p, maskCatchments, vol, used, nil); a != b {
+		t.Fatalf("nil mask diverges: %d vs %d", a, b)
+	}
+	blocked := make([]bool, 3)
+	blocked[a] = true
+	if got := NextGreedyVolumeMasked(p, maskCatchments, vol, used, blocked); got == a || got == -1 {
+		t.Fatalf("masked pick = %d, must avoid blocked %d", got, a)
+	}
+}
+
+func TestQuarantineMask(t *testing.T) {
+	plan := []PlannedConfig{
+		{Config: bgp.Config{Anns: []bgp.Announcement{{Link: 0}, {Link: 1}}}},
+		{Config: bgp.Config{Anns: []bgp.Announcement{{Link: 2}}}},
+		{Config: bgp.Config{Anns: []bgp.Announcement{{Link: 1}, {Link: 2}}}},
+	}
+	none := func(bgp.LinkID) bool { return false }
+	if m := QuarantineMask(plan, none); m != nil {
+		t.Fatalf("healthy links must yield a nil mask, got %v", m)
+	}
+	quarantine1 := func(l bgp.LinkID) bool { return l == 1 }
+	if m := QuarantineMask(plan, quarantine1); !reflect.DeepEqual(m, []bool{true, false, true}) {
+		t.Fatalf("mask = %v, want [true false true]", m)
+	}
+}

@@ -72,9 +72,19 @@ func RandomEnsemble(catchments [][]bgp.LinkID, nSeq int, seed uint64) (p25, medi
 // live pipeline (internal/stream) asks for between attack rounds;
 // GreedyTrajectory iterates it.
 func NextGreedy(p *cluster.Partition, catchments [][]bgp.LinkID, used []bool) int {
+	return NextGreedyMasked(p, catchments, used, nil)
+}
+
+// NextGreedyMasked is NextGreedy with a routing mask: configurations
+// with blocked[c] set are skipped as if used (their links are
+// quarantined by the platform's health breaker). A nil mask is
+// NextGreedy. The mask only affects which configuration is chosen next,
+// never the catchments themselves, so localization stays correct — just
+// routed around unhealthy links.
+func NextGreedyMasked(p *cluster.Partition, catchments [][]bgp.LinkID, used, blocked []bool) int {
 	best, bestClusters := -1, -1
 	for c := range catchments {
-		if used[c] {
+		if used[c] || (blocked != nil && blocked[c]) {
 			continue
 		}
 		k := p.NumClustersAfter(catchments[c])
@@ -83,6 +93,27 @@ func NextGreedy(p *cluster.Partition, catchments [][]bgp.LinkID, used []bool) in
 		}
 	}
 	return best
+}
+
+// QuarantineMask computes the per-configuration blocked mask for a
+// plan: blocked[c] is true when any announcement of configuration c
+// rides a link isQuarantined reports unhealthy. It returns nil when no
+// configuration is blocked, so fault-free callers pay one scan and no
+// allocation.
+func QuarantineMask(plan []PlannedConfig, isQuarantined func(bgp.LinkID) bool) []bool {
+	var blocked []bool
+	for c := range plan {
+		for _, a := range plan[c].Config.Anns {
+			if isQuarantined(a.Link) {
+				if blocked == nil {
+					blocked = make([]bool, len(plan))
+				}
+				blocked[c] = true
+				break
+			}
+		}
+	}
+	return blocked
 }
 
 // GreedyTrajectory deploys, at every step, the not-yet-deployed
@@ -157,10 +188,17 @@ func GreedyVolumeTrajectory(catchments [][]bgp.LinkID, volume []float64, maxStep
 // configurations that split the clusters currently sending the most
 // spoofed traffic (§VIII-(i)).
 func NextGreedyVolume(p *cluster.Partition, catchments [][]bgp.LinkID, volume []float64, used []bool) int {
+	return NextGreedyVolumeMasked(p, catchments, volume, used, nil)
+}
+
+// NextGreedyVolumeMasked is NextGreedyVolume with a quarantine mask:
+// blocked configurations are skipped as if used. A nil mask is
+// NextGreedyVolume.
+func NextGreedyVolumeMasked(p *cluster.Partition, catchments [][]bgp.LinkID, volume []float64, used, blocked []bool) int {
 	best := -1
 	bestScore := 0.0
 	for c := range catchments {
-		if used[c] {
+		if used[c] || (blocked != nil && blocked[c]) {
 			continue
 		}
 		score := volumeWeightedMeanSize(p.RefinedCopy(catchments[c]), volume)

@@ -57,3 +57,46 @@ func BenchmarkStreamPipeline(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStreamIngestShed compares the ingest hot path with load
+// shedding off (the default: one predicted branch) and on, queues deep
+// enough that nothing is actually dropped. The pair bounds the
+// fault-tolerance overhead on the ingest path.
+func BenchmarkStreamIngestShed(b *testing.B) {
+	for _, shed := range []bool{false, true} {
+		name := "shed-off"
+		if shed {
+			name = "shed-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			attr := testAttribution()
+			p, err := New(attr, Config{
+				Workers:         4,
+				QueueDepth:      1 << 16,
+				BatchSize:       256,
+				FlushInterval:   10 * time.Millisecond,
+				EvalInterval:    10 * time.Millisecond,
+				MinRoundPackets: 1 << 40,
+				Shed:            shed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := amp.Event{
+				Time:        time.Now(),
+				SpoofedSrc:  netip.AddrFrom4([4]byte{198, 51, 100, 7}),
+				WireLen:     24,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.IngressLink = uint8(i % attr.NumLinks)
+				p.Ingest(ev)
+			}
+			b.StopTimer()
+			p.Close()
+			if p.Dropped() != 0 {
+				b.Fatalf("benchmark dropped %d events; deepen the queue", p.Dropped())
+			}
+		})
+	}
+}

@@ -39,13 +39,32 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	t0 := time.Now()
 	p.mEvals.Inc()
 
+	// Quarantine mask, refreshed every evaluation (outside p.mu — the
+	// callback may take the platform's health lock): blocked
+	// configurations become eligible again the moment their links leave
+	// quarantine.
+	var blocked []bool
+	if p.cfg.Blocked != nil {
+		blocked = p.cfg.Blocked()
+	}
+
 	p.mu.Lock()
 	st := &p.st
 	roundPackets := int64(0)
 	for _, n := range st.roundPkts {
 		roundPackets += n
 	}
-	p.mQueue.Set(float64(p.queueDepth()))
+	queued := p.queueDepth()
+	p.mQueue.Set(float64(queued))
+	// Degraded recovery: no shed drops since the last evaluation and the
+	// queues have drained — the overload has passed.
+	if d := p.droppedN.Load(); d == st.lastDropped {
+		if queued == 0 && p.degraded.Load() {
+			p.degraded.Store(false)
+		}
+	} else {
+		st.lastDropped = d
+	}
 	if roundPackets == 0 || (!final && roundPackets < p.cfg.MinRoundPackets) {
 		p.mu.Unlock()
 		return
@@ -108,7 +127,10 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	var deployIdx = -1
 	budgetLeft := p.cfg.MaxOnlineConfigs == 0 || len(st.deployed)-1 < p.cfg.MaxOnlineConfigs
 	if !final && canSplit && budgetLeft {
-		next := sched.NextGreedyVolume(st.part, p.attr.Catchments, estVol, st.used)
+		// Quarantined configurations are routed around, not consumed:
+		// if every useful configuration is blocked the loop simply waits
+		// (converged stays false) and retries them once their links heal.
+		next := sched.NextGreedyVolumeMasked(st.part, p.attr.Catchments, estVol, st.used, blocked)
 		if next >= 0 {
 			st.used[next] = true
 			st.current = next

@@ -51,6 +51,8 @@ type Status struct {
 	MeanClusterSize  float64            `json:"mean_cluster_size"`
 	Candidates       int                `json:"candidates"`
 	Converged        bool               `json:"converged"`
+	Degraded         bool               `json:"degraded"`
+	DroppedEvents    int64              `json:"dropped_events"`
 	PerLink          []LinkStatus       `json:"per_link"`
 	TopSources       []AttributedSource `json:"top_sources"`
 	TopVictims       []VictimStatus     `json:"top_victims"`
@@ -82,6 +84,8 @@ func (p *Pipeline) Status(topN int) Status {
 		MeanClusterSize:  st.part.Summarize().MeanSize,
 		Candidates:       len(st.candidates),
 		Converged:        st.converged,
+		Degraded:         p.degraded.Load(),
+		DroppedEvents:    p.droppedN.Load(),
 		History:          append([]RoundRecord(nil), st.history...),
 	}
 	if s.UptimeSec > 0 {

@@ -102,6 +102,19 @@ type Config struct {
 	// tracked but not materialized (useful in tests feeding Ingest
 	// directly).
 	Deploy DeployFunc
+	// Shed switches intake from backpressure to overload shedding: when
+	// a shard's queue is full, Ingest drops the event instead of
+	// blocking, counts it (stream_dropped_total), and raises the
+	// pipeline's degraded flag. The controller clears the flag once
+	// queues drain and no further drops occur. Use when the tap must
+	// never stall the packet path (spooftrackd -shed).
+	Shed bool
+	// Blocked, if non-nil, is consulted at each evaluation for the
+	// per-configuration quarantine mask (nil = nothing blocked): blocked
+	// configurations are routed around when picking the next deployment,
+	// as if used, but become eligible again once unblocked. Wire it to
+	// sched.QuarantineMask over the platform's link health.
+	Blocked func() []bool
 	// Metrics instruments the pipeline (nil = a private registry).
 	Metrics *metrics.Registry
 }
@@ -166,8 +179,16 @@ type Pipeline struct {
 	wg     sync.WaitGroup
 	stop   chan struct{}
 
-	intakeMu sync.RWMutex
-	closed   bool
+	intakeMu  sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+
+	// shed is Config.Shed, copied for the hot path (one branch when off).
+	// droppedN counts shed events; degraded is raised on any drop and
+	// cleared by the controller once queues drain with no new drops.
+	shed     bool
+	droppedN atomic.Int64
+	degraded atomic.Bool
 
 	// settleUntil is the unix-nano time before which events are
 	// excluded from round accounting (read on the hot path).
@@ -184,6 +205,7 @@ type Pipeline struct {
 	// metrics (resolved once; hot-path friendly)
 	mEvents   *metrics.Counter
 	mBytes    *metrics.Counter
+	mDropped  *metrics.Counter
 	mBatches  *metrics.Counter
 	mRounds   *metrics.Counter
 	mReconfig *metrics.Counter
@@ -232,6 +254,9 @@ type loopState struct {
 	history    []RoundRecord
 	candidates []int
 	converged  bool
+	// lastDropped is the shed counter at the previous evaluation; the
+	// degraded flag clears when it stops moving and queues are drained.
+	lastDropped int64
 }
 
 // New validates the attribution input, deploys the initial
@@ -257,10 +282,11 @@ func New(attr Attribution, cfg Config) (*Pipeline, error) {
 	}
 	cfg.setDefaults()
 
-	p := &Pipeline{cfg: cfg, attr: attr, stop: make(chan struct{}), start: time.Now()}
+	p := &Pipeline{cfg: cfg, attr: attr, stop: make(chan struct{}), start: time.Now(), shed: cfg.Shed}
 	reg := cfg.Metrics
 	p.mEvents = reg.Counter("stream_events_total")
 	p.mBytes = reg.Counter("stream_bytes_total")
+	p.mDropped = reg.Counter("stream_dropped_total")
 	p.mBatches = reg.Counter("stream_batches_total")
 	p.mRounds = reg.Counter("stream_rounds_total")
 	p.mReconfig = reg.Counter("stream_reconfigs_total")
@@ -347,9 +373,11 @@ func (p *Pipeline) table(cfgIdx int) map[uint32]uint8 {
 	return t
 }
 
-// Ingest feeds one per-packet event into the pipeline, blocking if the
-// owning shard's queue is full (backpressure instead of loss). It
-// returns false once the pipeline is closed. Wire it as an amp tap:
+// Ingest feeds one per-packet event into the pipeline. By default a
+// full shard queue blocks the caller (backpressure instead of loss);
+// with Config.Shed the event is dropped instead, counted, and the
+// pipeline marked degraded. It returns false once the pipeline is
+// closed. Wire it as an amp tap:
 //
 //	hp.SetTap(func(ev amp.Event) { p.Ingest(ev) })
 func (p *Pipeline) Ingest(ev amp.Event) bool {
@@ -358,9 +386,30 @@ func (p *Pipeline) Ingest(ev amp.Event) bool {
 	if p.closed {
 		return false
 	}
-	p.shards[shardOf(ev, len(p.shards))] <- ev
+	ch := p.shards[shardOf(ev, len(p.shards))]
+	if p.shed {
+		select {
+		case ch <- ev:
+		default:
+			// Overload: shed rather than stall the packet path. The event
+			// is acknowledged (the pipeline is open) but unaccounted.
+			p.droppedN.Add(1)
+			p.mDropped.Inc()
+			p.degraded.Store(true)
+		}
+		return true
+	}
+	ch <- ev
 	return true
 }
+
+// Degraded reports whether the pipeline is shedding load: at least one
+// event was dropped since the controller last saw drained queues and a
+// quiet drop counter. Surfaced through spooftrackd's /readyz.
+func (p *Pipeline) Degraded() bool { return p.degraded.Load() }
+
+// Dropped returns how many events overload shedding has discarded.
+func (p *Pipeline) Dropped() int64 { return p.droppedN.Load() }
 
 // shardOf spreads events across workers by FNV-1a over the spoofed
 // source and ingress link, keeping any one flow on one worker.
@@ -550,23 +599,23 @@ func (p *Pipeline) flush(b *batch, wsp *trace.Span) {
 // Close stops intake, drains and flushes every shard, folds the final
 // round into the localizer, and shuts the control loop down. It is the
 // drain-then-flush half of graceful shutdown: stop producing events
-// (close the honeypot or detach the tap) before calling it.
+// (close the honeypot or detach the tap) before calling it. Close is
+// idempotent and safe for concurrent callers: exactly one caller runs
+// the shutdown, the rest wait for it to finish.
 func (p *Pipeline) Close() {
-	p.intakeMu.Lock()
-	if p.closed {
+	p.closeOnce.Do(func() {
+		p.intakeMu.Lock()
+		p.closed = true
 		p.intakeMu.Unlock()
-		return
-	}
-	p.closed = true
-	p.intakeMu.Unlock()
 
-	close(p.stop)
-	for _, ch := range p.shards {
-		close(ch)
-	}
-	p.wg.Wait()
-	p.evaluate(true, p.span)
-	p.span.End()
+		close(p.stop)
+		for _, ch := range p.shards {
+			close(ch)
+		}
+		p.wg.Wait()
+		p.evaluate(true, p.span)
+		p.span.End()
+	})
 }
 
 // TotalEvents returns how many events have been flushed into the shared

@@ -34,6 +34,12 @@ echo "==> metrics hot-path benchmarks (labeled vector vs plain counter)"
 go test ./internal/metrics/ -run '^$' -bench 'PlainCounter|VecObserve' -benchmem \
 	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
 
+echo "==> fault-tolerance overhead benchmarks (fault-off vs baseline must stay within ~5%)"
+go test ./internal/peering/ -run '^$' -bench 'PlatformPropagate' -benchmem \
+	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
+go test ./internal/stream/ -run '^$' -bench 'StreamIngestShed' -benchmem \
+	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
+
 echo "==> figure benchmarks (-benchtime $FIGURE_BENCHTIME)"
 go test . -run '^$' -bench '.' -benchmem \
 	-benchtime "$FIGURE_BENCHTIME" -timeout 60m | tee -a "$TMP"

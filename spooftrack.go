@@ -33,6 +33,7 @@ import (
 	"spooftrack/internal/bgp"
 	"spooftrack/internal/cluster"
 	"spooftrack/internal/core"
+	"spooftrack/internal/fault"
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/peering"
 	"spooftrack/internal/report"
@@ -84,6 +85,13 @@ type (
 	// EvidenceReport documents per-candidate localization evidence for
 	// operator notification (§I).
 	EvidenceReport = report.Report
+	// RetryPolicy governs per-configuration retry and backoff during
+	// campaign deployment and measurement.
+	RetryPolicy = core.RetryPolicy
+	// FaultProfile is a named fault-injection scenario.
+	FaultProfile = fault.Profile
+	// FaultInjector is the deterministic, seed-driven fault injector.
+	FaultInjector = fault.Injector
 )
 
 // Phase constants.
@@ -114,6 +122,13 @@ func GenerateTopology(p GenParams) (*Graph, error) { return topo.Generate(p) }
 // DefaultGenParams returns default topology generator parameters.
 func DefaultGenParams(seed uint64) GenParams { return topo.DefaultGenParams(seed) }
 
+// DefaultRetryPolicy returns the retry/backoff defaults used when a
+// fault profile is active.
+func DefaultRetryPolicy() RetryPolicy { return core.DefaultRetryPolicy() }
+
+// FaultProfileNames lists the built-in fault scenario names.
+func FaultProfileNames() []string { return fault.Names() }
+
 // NewRNG returns a deterministic generator for the seed.
 func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
 
@@ -130,6 +145,17 @@ type TrackerParams struct {
 	// Metrics, if non-nil, receives campaign instrumentation (per-phase
 	// wall-clock histograms and configuration counters).
 	Metrics *metrics.Registry
+	// Retry governs per-configuration retry and backoff when campaign
+	// deployment or measurement fails transiently. The zero value means
+	// no retries (a single attempt, failures fatal) — the pre-fault
+	// behaviour.
+	Retry RetryPolicy
+	// FaultProfile names a fault-injection scenario (see
+	// FaultProfileNames); "" or "none" disables injection.
+	FaultProfile string
+	// FaultSeed seeds the deterministic injector; the same
+	// (profile, seed) pair yields the same fault schedule.
+	FaultSeed uint64
 }
 
 // DefaultTrackerParams returns paper-scale tracker parameters.
@@ -143,6 +169,9 @@ type Tracker struct {
 	World    *World
 	Plan     []PlannedConfig
 	Campaign *Campaign
+	// Fault is the active injector, or nil when no fault profile was
+	// requested.
+	Fault *FaultInjector
 }
 
 // NewTracker builds the world, generates the paper's three-phase plan,
@@ -157,11 +186,37 @@ func NewTracker(p TrackerParams) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	camp, err := w.RunCampaign(plan, core.CampaignOptions{UseTruth: p.UseTruth, Progress: p.Progress, Ctx: p.Ctx, Metrics: p.Metrics})
+	prof, err := fault.ProfileByName(p.FaultProfile)
 	if err != nil {
 		return nil, err
 	}
-	return &Tracker{World: w, Plan: plan, Campaign: camp}, nil
+	opts := core.CampaignOptions{
+		UseTruth: p.UseTruth,
+		Progress: p.Progress,
+		Ctx:      p.Ctx,
+		Metrics:  p.Metrics,
+		Retry:    p.Retry,
+	}
+	var inj *fault.Injector
+	if prof.Name != "" && prof.Name != "none" {
+		// Injecting faults without retries would make every transient
+		// error fatal; default to the standard policy unless the caller
+		// tuned one.
+		if opts.Retry.MaxAttempts == 0 {
+			opts.Retry = core.DefaultRetryPolicy()
+		}
+		inj = fault.New(prof, p.FaultSeed, w.Platform.NumLinks())
+		if p.Metrics != nil {
+			inj.Instrument(p.Metrics)
+		}
+		w.Platform.SetFaultHook(inj)
+		opts.MeasureFault = inj
+	}
+	camp, err := w.RunCampaign(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{World: w, Plan: plan, Campaign: camp, Fault: inj}, nil
 }
 
 // Clusters returns the final partition of sources after the whole
