@@ -12,6 +12,8 @@
 //
 //	/status       pipeline snapshot: clusters, per-link rates, top sources
 //	/faults       fault-injection stats and per-link circuit-breaker health
+//	/probe        active SAV probing: scan status, per-verdict counts, and the
+//	              probe-vs-catchment channel audit (404 with -probe-interval 0)
 //	/metrics      counters, gauges, histograms and labeled vectors; JSON by
 //	              default, Prometheus text format via Accept: text/plain or
 //	              ?format=prometheus
@@ -53,9 +55,11 @@ import (
 
 	"spooftrack"
 	"spooftrack/internal/amp"
+	"spooftrack/internal/bgp"
 	"spooftrack/internal/core"
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/peering"
+	"spooftrack/internal/probe"
 	"spooftrack/internal/sched"
 	"spooftrack/internal/stream"
 	"spooftrack/internal/trace"
@@ -88,10 +92,14 @@ func main() {
 		dropSLO       = flag.Float64("slo-drop-rate", 100, "border drop-rate SLO in packets/second")
 		hitSLO        = flag.Float64("slo-cache-hit", 0.10, "outcome-cache hit-rate floor (0..1)")
 		shedSLO       = flag.Float64("slo-shed-rate", 50, "pipeline shed-rate SLO in events/second")
-		faultProfile  = flag.String("fault-profile", "", "fault-injection scenario (flaky-mux, slow-converge, feed-gap, tap-drop, chaos; empty = off)")
+		faultProfile  = flag.String("fault-profile", "", "fault-injection scenario (flaky-mux, slow-converge, feed-gap, tap-drop, probe-storm, chaos; empty = off)")
 		faultSeed     = flag.Uint64("fault-seed", 1, "deterministic fault-injection seed")
 		deployRetries = flag.Int("deploy-retries", 4, "max deploy/measure attempts per configuration")
 		shed          = flag.Bool("shed", false, "shed events when ingest queues overflow instead of applying backpressure")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "active SAV probe scan interval (0 = probing off)")
+		probeBudget   = flag.Int("probe-budget", 200, "probe targets visited per scan round (0 = all)")
+		probeCovSLO   = flag.Float64("slo-probe-coverage", 0.05, "probe-coverage SLO floor (0..1)")
+		probeLossSLO  = flag.Float64("slo-probe-loss", 0.9, "probe loss-rate SLO ceiling (0..1)")
 	)
 	flag.Parse()
 
@@ -220,6 +228,54 @@ func main() {
 	}
 	hp.SetTap(tap)
 
+	// Active probing: the second evidence channel. The prober scans the
+	// same converged topology the campaign runs on, sending
+	// control/inbound/outbound probes at each target AS and folding the
+	// answers into per-AS SAV verdicts with honest confidences. Losses
+	// ride the same fault injector as the rest of the daemon, and probe
+	// scheduling respects the circuit breaker's link quarantines.
+	var pv *probeView
+	if *probeInterval > 0 {
+		anns := make([]bgp.Announcement, platform.NumLinks())
+		for i := range anns {
+			anns[i] = bgp.Announcement{Link: bgp.LinkID(i)}
+		}
+		out, err := platform.Propagate(bgp.Config{Anns: anns})
+		if err != nil {
+			slog.Error("probe baseline propagation failed", "err", err)
+			os.Exit(1)
+		}
+		// The simulated target fleet: seeded SAV ground truth the
+		// inference is later judged against (a real deployment probes the
+		// actual networks instead).
+		truth := probe.RandomGroundTruth(out.Graph().NumASes(), 0.4, 0.5, *seed)
+		simnet, err := probe.NewSimNet(out, truth, 0, *seed)
+		if err != nil {
+			slog.Error("probe network failed", "err", err)
+			os.Exit(1)
+		}
+		pcfg := probe.Config{
+			Net:         simnet,
+			TargetLinks: out.CatchmentVector(),
+			LinkNames:   platform.LinkNames(),
+			Budget:      *probeBudget,
+			Quarantined: platform.Health().IsQuarantined,
+			Tracer:      tracer,
+		}
+		if tracker.Fault != nil {
+			pcfg.Fault = tracker.Fault
+		}
+		prober, err := probe.NewProber(pcfg)
+		if err != nil {
+			slog.Error("prober failed", "err", err)
+			os.Exit(1)
+		}
+		prober.Instrument(reg)
+		pv = &probeView{prober: prober, catchment: out.CatchmentVector()}
+		slog.Info("active SAV probing enabled",
+			"targets", prober.NumTargets(), "budget", *probeBudget, "interval", *probeInterval)
+	}
+
 	// SLO watchdog: flight-record registry snapshots and drop a diagnostic
 	// bundle when the live loop degrades past its objectives.
 	dog := watch.New(watch.Config{
@@ -265,16 +321,36 @@ func main() {
 				Threshold: *hitSLO,
 				For:       3,
 			},
+			// Probe-channel health. Both rules read metrics the prober
+			// registers only when probing is on, so with -probe-interval 0
+			// they sit in the no-data state and never fire.
+			{
+				Name:      "probe-coverage",
+				Expr:      watch.Metric("probe_coverage"),
+				Op:        watch.Below,
+				Threshold: *probeCovSLO,
+				For:       3,
+			},
+			{
+				Name: "probe-loss-rate",
+				Expr: watch.Ratio(
+					watch.VecSum("probe_lost_total"),
+					watch.VecSum("probe_sent_total"),
+				),
+				Op:        watch.Above,
+				Threshold: *probeLossSLO,
+				For:       3,
+			},
 		},
 	})
 	dog.Start()
 	defer dog.Stop()
 
-	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health())}
+	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health(), pv)}
 	httpErr := make(chan error, 1)
 	go func() {
 		slog.Info("http listening", "addr", *listen,
-			"endpoints", "/status /faults /metrics /evidence /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
+			"endpoints", "/status /faults /probe /metrics /evidence /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
 		httpErr <- srv.ListenAndServe()
 	}()
 	slog.Info("packet plane up: point spoofed traffic at the border",
@@ -296,6 +372,27 @@ func main() {
 					if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
 						slog.Warn("snapshot failed", "err", err)
 					}
+				}
+			}
+		}()
+	}
+
+	// Probe scan loop: one budget-bounded round per interval, rotating
+	// fairly through the target fleet.
+	if pv != nil {
+		go func() {
+			t := time.NewTicker(*probeInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					rep := pv.prober.Round(nil)
+					slog.Debug("probe round",
+						"round", rep.Round, "visited", rep.Visited, "skipped", rep.Skipped,
+						"sent", rep.Sent, "lost", rep.Lost, "answered", rep.Answered,
+						"discarded", rep.Discarded, "took", rep.Duration.Round(time.Microsecond))
 				}
 			}
 		}()
@@ -392,13 +489,29 @@ type faultsStatus struct {
 	DroppedEvents int64                    `json:"dropped_events"`
 }
 
+// probeView bundles what /probe serves: the live prober and the
+// propagation-derived catchment vector its channel audit is compared
+// against.
+type probeView struct {
+	prober    *probe.Prober
+	catchment []bgp.LinkID
+}
+
+// probeStatus is the /probe payload: the prober's scan status plus the
+// agreement/conflict audit between the probe channel's measured ingress
+// links and the propagation-derived catchment vector.
+type probeStatus struct {
+	probe.Status
+	Audit probe.ChannelAudit `json:"audit"`
+}
+
 // newMux assembles the daemon's HTTP surface: pipeline introspection,
 // metrics, the trace journal, the SLO watchdog (readiness and bundles),
 // fault-injection state, and the standard pprof endpoints. dog may be
 // nil (no watchdog: /readyz degrades to a pipeline-started check, /slo
 // and /debug/bundle report 404); inj and health may be nil (no injector
-// / no platform).
-func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth) *http.ServeMux {
+// / no platform); pv may be nil (probing off: /probe reports 404).
+func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth, pv *probeView) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, pipe.Status(10))
@@ -418,6 +531,17 @@ func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog 
 			fs.Quarantined = health.Quarantined()
 		}
 		writeJSON(w, fs)
+	})
+	mux.HandleFunc("/probe", func(w http.ResponseWriter, r *http.Request) {
+		if pv == nil {
+			http.Error(w, "no prober configured (-probe-interval 0)", http.StatusNotFound)
+			return
+		}
+		ps := probeStatus{Status: pv.prober.Status()}
+		pv.prober.Inference(func(inf *probe.SAVInference) {
+			ps.Audit = probe.Audit(probe.BuildChannel(inf, 0), pv.catchment)
+		})
+		writeJSON(w, ps)
 	})
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/evidence", func(w http.ResponseWriter, r *http.Request) {

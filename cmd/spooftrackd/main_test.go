@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"spooftrack/internal/bgp"
+	"spooftrack/internal/fault"
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/peering"
+	"spooftrack/internal/probe"
 	"spooftrack/internal/stream"
 	"spooftrack/internal/topo"
 	"spooftrack/internal/trace"
@@ -48,7 +50,7 @@ func testMuxWatch(t *testing.T, rules []watch.Rule, bundleDir string) (*http.Ser
 		Tracer:    tr,
 		BundleDir: bundleDir,
 	})
-	return newMux(pipe, reg, tr, dog, nil, peering.NewLinkHealth(2, 0, 0)), dog
+	return newMux(pipe, reg, tr, dog, nil, peering.NewLinkHealth(2, 0, 0), nil), dog
 }
 
 func get(t *testing.T, mux *http.ServeMux, path string) (*http.Response, string) {
@@ -292,6 +294,145 @@ func TestPprofMounted(t *testing.T) {
 	res, _ = get(t, mux, "/debug/pprof/symbol")
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("pprof symbol: status %d", res.StatusCode)
+	}
+}
+
+// testProbeView builds a live prober over a small converged world, the
+// way main does, optionally afflicted by the probe-storm fault profile.
+// When reg is non-nil the prober is instrumented into it.
+func testProbeView(t *testing.T, reg *metrics.Registry, storm bool) *probeView {
+	t.Helper()
+	p := topo.DefaultGenParams(7)
+	p.NumASes = 200
+	g, err := topo.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := peering.New(g, peering.Options{EngineParams: bgp.DefaultParams(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := make([]bgp.Announcement, plat.NumLinks())
+	for i := range anns {
+		anns[i] = bgp.Announcement{Link: bgp.LinkID(i)}
+	}
+	out, err := plat.Propagate(bgp.Config{Anns: anns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := probe.RandomGroundTruth(g.NumASes(), 0.4, 0.5, 7)
+	simnet, err := probe.NewSimNet(out, truth, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := probe.Config{
+		Net:         simnet,
+		TargetLinks: out.CatchmentVector(),
+		LinkNames:   plat.LinkNames(),
+		PerKind:     2,
+	}
+	if storm {
+		prof, err := fault.ProfileByName("probe-storm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof.ProbeLatency = 0 // latency is wall-clock sleep; keep the test fast
+		cfg.Fault = fault.New(prof, 7, plat.NumLinks())
+	}
+	pr, err := probe.NewProber(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != nil {
+		pr.Instrument(reg)
+	}
+	return &probeView{prober: pr, catchment: out.CatchmentVector()}
+}
+
+func getProbeStatus(t *testing.T, mux *http.ServeMux) probeStatus {
+	t.Helper()
+	res, body := get(t, mux, "/probe")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("probe: status %d\n%s", res.StatusCode, body)
+	}
+	var ps probeStatus
+	if err := json.Unmarshal([]byte(body), &ps); err != nil {
+		t.Fatalf("probe is not JSON: %v\n%s", err, body)
+	}
+	return ps
+}
+
+func TestProbeEndpointNoProber(t *testing.T) {
+	res, body := get(t, testMux(t), "/probe")
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("probe with no prober: status %d, want 404\n%s", res.StatusCode, body)
+	}
+}
+
+func TestProbeEndpointReportsScanAndAudit(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pv := testProbeView(t, reg, false)
+	mux := newMux(nil, reg, nil, nil, nil, nil, pv)
+	for i := 0; i < 2; i++ {
+		pv.prober.Round(nil)
+	}
+	ps := getProbeStatus(t, mux)
+	if ps.Rounds != 2 || ps.Targets == 0 || ps.Sent == 0 {
+		t.Fatalf("probe status after 2 rounds: %+v", ps)
+	}
+	if ps.Coverage != 1 {
+		t.Fatalf("unbounded fault-free rounds should cover every target, got %.3f", ps.Coverage)
+	}
+	if ps.Lost != 0 || ps.Discarded != 0 {
+		t.Fatalf("fault-free scan lost %d / discarded %d probes", ps.Lost, ps.Discarded)
+	}
+	// The probe channel measures the same ingress links propagation
+	// derived: full agreement, zero conflicts.
+	if ps.Audit.Agree == 0 || ps.Audit.Conflict != 0 || ps.Audit.ProbeOnly != 0 {
+		t.Fatalf("channel audit = %+v, want agreement without conflicts", ps.Audit)
+	}
+	if len(ps.Outbound) == 0 {
+		t.Fatalf("no outbound verdicts after 2 rounds: %+v", ps)
+	}
+}
+
+// TestProbeEndpointDegradedUnderStorm drives the fault-injected path:
+// under probe-storm, /probe must report the losses and the explicit
+// low-confidence degradation, and the probe-loss-rate SLO rule (wired
+// exactly as in main) must breach.
+func TestProbeEndpointDegradedUnderStorm(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pv := testProbeView(t, reg, true)
+	dog := watch.New(watch.Config{
+		Registry: reg,
+		Rules: []watch.Rule{{
+			Name: "probe-loss-rate",
+			Expr: watch.Ratio(
+				watch.VecSum("probe_lost_total"),
+				watch.VecSum("probe_sent_total"),
+			),
+			Op:        watch.Above,
+			Threshold: 0.5,
+			For:       1,
+		}},
+	})
+	mux := newMux(nil, reg, nil, dog, nil, nil, pv)
+	for i := 0; i < 2; i++ {
+		pv.prober.Round(nil)
+	}
+	ps := getProbeStatus(t, mux)
+	if ps.Lost == 0 || float64(ps.Lost)/float64(ps.Sent) < 0.7 {
+		t.Fatalf("storm lost %d/%d probes, want ~85%%", ps.Lost, ps.Sent)
+	}
+	if ps.LowConfidence == 0 {
+		t.Fatalf("storm produced no low-confidence verdicts: %+v", ps)
+	}
+	if fired := dog.Evaluate(time.Now()); len(fired) != 1 || fired[0].Rule != "probe-loss-rate" {
+		t.Fatalf("probe-loss-rate should breach under the storm, fired %+v", fired)
+	}
+	res, body := get(t, mux, "/slo")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "probe-loss-rate") {
+		t.Fatalf("slo should list probe-loss-rate: status %d\n%s", res.StatusCode, body)
 	}
 }
 

@@ -230,6 +230,27 @@ func (inj *Injector) WrapTap(t amp.Tap) amp.Tap {
 	}
 }
 
+// Probe decides whether one active spoof-probe (egress link, target AS,
+// probe sequence within the round) is lost, after injecting the
+// profile's per-probe latency. Decisions are pure functions of
+// (seed, link, target, seq) — like every other site, independent of call
+// order — so a probe round is bit-reproducible at any concurrency.
+// internal/probe.FaultHook is implemented by this method.
+func (inj *Injector) Probe(link int, target int, seq uint64) bool {
+	pr := &inj.profile
+	salt := uint64(link)<<40 | uint64(target)<<16 | (seq & 0xffff)
+	if d := pr.ProbeLatency; d > 0 {
+		frac := inj.roll(KindLatency, "probe", salt)
+		inj.count(KindLatency)
+		inj.sleep(time.Duration((0.5 + frac) * float64(d)))
+	}
+	if p := pr.PrProbeLoss; p > 0 && inj.roll(KindProbeLoss, "probe", salt) < p {
+		inj.count(KindProbeLoss)
+		return true
+	}
+	return false
+}
+
 // FilterFeeds deletes collector feeds that are dark for configuration
 // cfgIdx under the profile's feed-gap probability, returning how many
 // were dropped. Decisions are per (config, collector), so a collector

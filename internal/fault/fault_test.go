@@ -218,8 +218,59 @@ func TestMaskHidesObservedSourcesOnly(t *testing.T) {
 	}
 }
 
+func TestProbeSiteDeterministicAndRateAccurate(t *testing.T) {
+	prof, err := ProfileByName("probe-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.ProbeLatency = 0 // keep the test instant
+	a, b := New(prof, 21, 7), New(prof, 21, 7)
+	lost := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		la := a.Probe(i%7, i/7, uint64(i%3))
+		lb := b.Probe(i%7, i/7, uint64(i%3))
+		if la != lb {
+			t.Fatalf("probe loss not deterministic at %d", i)
+		}
+		if la {
+			lost++
+		}
+	}
+	if frac := float64(lost) / n; frac < 0.81 || frac > 0.89 {
+		t.Fatalf("probe loss rate %.3f, want ~0.85", frac)
+	}
+	if a.Count(KindProbeLoss) != int64(lost) {
+		t.Fatalf("probe loss count %d, want %d", a.Count(KindProbeLoss), lost)
+	}
+	// Different seeds roll different losses.
+	other := New(prof, 22, 7)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Probe(0, i, 0) == other.Probe(0, i, 0) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("seeds 21 and 22 lost identical probe sets")
+	}
+}
+
+func TestProbeLatencyInjection(t *testing.T) {
+	inj := New(Profile{Name: "t", ProbeLatency: 10 * time.Millisecond}, 3, 2)
+	var slept time.Duration
+	inj.sleep = func(d time.Duration) { slept = d }
+	inj.Probe(0, 1, 0)
+	if slept < 5*time.Millisecond || slept > 15*time.Millisecond {
+		t.Fatalf("slept %v, want 0.5–1.5× 10ms", slept)
+	}
+	if inj.Count(KindLatency) != 1 {
+		t.Fatalf("latency count = %d", inj.Count(KindLatency))
+	}
+}
+
 func TestProfileRegistry(t *testing.T) {
-	for _, name := range []string{"flaky-mux", "slow-converge", "feed-gap", "tap-drop", "chaos"} {
+	for _, name := range []string{"flaky-mux", "slow-converge", "feed-gap", "tap-drop", "probe-storm", "chaos"} {
 		p, err := ProfileByName(name)
 		if err != nil {
 			t.Fatal(err)

@@ -35,6 +35,10 @@ type Profile struct {
 	// DeployLatency is the mean injected per-attempt deployment delay
 	// (each attempt sleeps 0.5–1.5× this; slow BGP convergence).
 	DeployLatency time.Duration `json:"deploy_latency,omitempty"`
+	// ProbeLatency is the mean injected per-probe delay on the active
+	// spoof-probing path (each probe sleeps 0.5–1.5× this; congested or
+	// rate-limited reflectors).
+	ProbeLatency time.Duration `json:"probe_latency,omitempty"`
 	// HideVisibility is the fraction of observed sources hidden from an
 	// otherwise successful catchment measurement.
 	HideVisibility float64 `json:"hide_visibility,omitempty"`
@@ -67,6 +71,12 @@ var builtins = []Profile{
 		Name:      "tap-drop",
 		Desc:      "per-packet events are lost between the honeypot tap and the pipeline",
 		PrTapDrop: 0.25,
+	},
+	{
+		Name:         "probe-storm",
+		Desc:         "active spoof probes are mostly lost and the survivors crawl",
+		PrProbeLoss:  0.85,
+		ProbeLatency: 20 * time.Microsecond,
 	},
 	{
 		Name:           "chaos",

@@ -247,6 +247,16 @@ func (p *Platform) Muxes() []Mux { return p.muxes }
 // NumLinks returns the number of peering links (muxes).
 func (p *Platform) NumLinks() int { return len(p.muxes) }
 
+// LinkNames returns the mux names indexed by LinkID — stable
+// identifiers for metric labels and reports.
+func (p *Platform) LinkNames() []string {
+	names := make([]string, len(p.muxes))
+	for i, m := range p.muxes {
+		names[i] = m.Spec.Name
+	}
+	return names
+}
+
 // LinkByProvider maps a provider ASN to its peering link.
 func (p *Platform) LinkByProvider(asn topo.ASN) (bgp.LinkID, bool) {
 	for i, m := range p.muxes {

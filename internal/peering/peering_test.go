@@ -54,6 +54,15 @@ func TestNewBindsTableI(t *testing.T) {
 			t.Errorf("mux %s missing", spec.Name)
 		}
 	}
+	ln := p.LinkNames()
+	if len(ln) != p.NumLinks() {
+		t.Fatalf("LinkNames has %d entries for %d links", len(ln), p.NumLinks())
+	}
+	for i, m := range p.Muxes() {
+		if ln[i] != m.Spec.Name {
+			t.Fatalf("LinkNames[%d] = %q, want %q", i, ln[i], m.Spec.Name)
+		}
+	}
 }
 
 func TestNewProvidersSpread(t *testing.T) {

@@ -1,0 +1,77 @@
+package probe
+
+import (
+	"testing"
+
+	"spooftrack/internal/bgp"
+)
+
+// BenchmarkProbeRound prices one budget-bounded scan round — the unit
+// of work the daemon's scan loop schedules per interval.
+func BenchmarkProbeRound(b *testing.B) {
+	net, out, plat := probeWorld(b, 301, 0)
+	p := newTestProber(b, net, out, plat, Config{Budget: 100, PerKind: 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Round(nil)
+	}
+}
+
+// fullConfig announces on every link, the heaviest propagation shape.
+func fullConfig(plat interface{ NumLinks() int }) bgp.Config {
+	anns := make([]bgp.Announcement, plat.NumLinks())
+	for i := range anns {
+		anns[i] = bgp.Announcement{Link: bgp.LinkID(i)}
+	}
+	return bgp.Config{Anns: anns}
+}
+
+// BenchmarkPropagateQuiet is the baseline for the perturbation budget:
+// uncached propagation with no probe scan running. Compare against
+// BenchmarkPropagateDuringProbeScan (scripts/bench.sh pins the ratio).
+func BenchmarkPropagateQuiet(b *testing.B) {
+	_, _, plat := probeWorld(b, 302, 0)
+	cfg := fullConfig(plat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plat.PropagateAttempt(cfg, 0, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPropagateDuringProbeScan reruns the baseline while a probe
+// scan loop hammers rounds on another goroutine — the daemon's steady
+// state. The ns/op here against BenchmarkPropagateQuiet is the
+// perturbation the scan loop imposes on campaign propagation; bench.sh
+// fails when it drifts past budget.
+func BenchmarkPropagateDuringProbeScan(b *testing.B) {
+	net, out, plat := probeWorld(b, 302, 0)
+	p := newTestProber(b, net, out, plat, Config{Budget: 100, PerKind: 3})
+	cfg := fullConfig(plat)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Round(nil)
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plat.PropagateAttempt(cfg, 0, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

@@ -1,0 +1,247 @@
+package probe
+
+import (
+	"fmt"
+	"math"
+
+	"spooftrack/internal/bgp"
+)
+
+// SAVState is a per-direction filtering verdict for one AS.
+type SAVState int8
+
+const (
+	// SAVUnknown means the probes were inconclusive: controls never
+	// answered, nothing spoofed was sent, or the only spoofed answers
+	// were off-path junk.
+	SAVUnknown SAVState = iota
+	// SAVDeployed means spoofed probes were filtered while controls got
+	// through — the network validates source addresses in that
+	// direction. The confidence is the probability the silence is
+	// filtering rather than loss.
+	SAVDeployed
+	// SAVAbsent means at least one genuinely spoofed probe (or its
+	// reflection) was delivered: the network does not filter. Delivery
+	// is proof, so the confidence is 1.
+	SAVAbsent
+)
+
+// String names the state as used in reports and metric labels.
+func (s SAVState) String() string {
+	switch s {
+	case SAVUnknown:
+		return "unknown"
+	case SAVDeployed:
+		return "deployed"
+	case SAVAbsent:
+		return "absent"
+	default:
+		return fmt.Sprintf("SAVState(%d)", int(s))
+	}
+}
+
+// ASReport is one AS's accumulated probe evidence and verdicts.
+type ASReport struct {
+	// AS is the dense topology index.
+	AS int `json:"as"`
+	// Link is the peering link the AS's control replies arrived on
+	// (NoLink until a control answers) — the probe channel's
+	// independently measured ingress.
+	Link bgp.LinkID `json:"link"`
+	// Inbound/Outbound are the per-direction verdicts with confidences.
+	Inbound       SAVState `json:"inbound"`
+	InConfidence  float64  `json:"inbound_confidence"`
+	Outbound      SAVState `json:"outbound"`
+	OutConfidence float64  `json:"outbound_confidence"`
+	// Raw tallies.
+	CtlSent int `json:"ctl_sent"`
+	CtlAns  int `json:"ctl_ans"`
+	InSent  int `json:"in_sent"`
+	InAns   int `json:"in_ans"`
+	OutSent int `json:"out_sent"`
+	OutAns  int `json:"out_ans"`
+	// TTLDiscards counts answers thrown away for implausible hop counts.
+	TTLDiscards int `json:"ttl_discards"`
+}
+
+// asCounters is the mutable per-AS tally behind a report.
+type asCounters struct {
+	ctlSent, ctlAns int
+	inSent, inAns   int
+	outSent, outAns int
+	ttlDiscard      int
+	baseHops        int // control-reply hop baseline, -1 until observed
+	link            bgp.LinkID
+	probed          bool
+}
+
+// SAVInference accumulates probe outcomes and derives per-AS SAV
+// verdicts. It is not synchronized; the Prober serializes access.
+type SAVInference struct {
+	c []asCounters
+	// totalCtlSent/Ans pool every control probe: the scan-wide delivery
+	// rate that caps what a lucky per-AS control sample may claim.
+	totalCtlSent, totalCtlAns int
+}
+
+// NewSAVInference sizes the inference for n ASes (dense indexing).
+func NewSAVInference(n int) *SAVInference {
+	inf := &SAVInference{c: make([]asCounters, n)}
+	for i := range inf.c {
+		inf.c[i].baseHops = -1
+		inf.c[i].link = bgp.NoLink
+	}
+	return inf
+}
+
+// NumASes returns the inference's vector size.
+func (inf *SAVInference) NumASes() int { return len(inf.c) }
+
+// RecordSent tallies one emitted probe (delivered or not — losses count
+// as sent, which is what makes the confidence honest).
+func (inf *SAVInference) RecordSent(as int, k Kind) {
+	if as < 0 || as >= len(inf.c) {
+		return
+	}
+	c := &inf.c[as]
+	c.probed = true
+	switch k {
+	case KindControl:
+		c.ctlSent++
+		inf.totalCtlSent++
+	case KindInbound:
+		c.inSent++
+	case KindOutbound:
+		c.outSent++
+	}
+}
+
+// RecordAnswer tallies a reply. Spoofed-probe answers whose hop count
+// strays more than tol from the control baseline are discarded as
+// off-path junk; it returns false for those (and they never count as
+// delivery evidence).
+func (inf *SAVInference) RecordAnswer(as int, k Kind, r Response, tol int) bool {
+	if as < 0 || as >= len(inf.c) || !r.Answered {
+		return false
+	}
+	c := &inf.c[as]
+	if k == KindControl {
+		c.ctlAns++
+		inf.totalCtlAns++
+		if c.baseHops < 0 {
+			c.baseHops = r.Hops
+		}
+		c.link = r.Link
+		return true
+	}
+	if c.baseHops >= 0 {
+		d := r.Hops - c.baseHops
+		if d < -tol || d > tol {
+			c.ttlDiscard++
+			return false
+		}
+	}
+	switch k {
+	case KindInbound:
+		c.inAns++
+	case KindOutbound:
+		c.outAns++
+	}
+	return true
+}
+
+// verdict derives one direction's state and confidence from tallies.
+//
+// Delivery of a spoofed probe is proof of no filtering (confidence 1).
+// Silence is ambiguous — the probe may have been filtered or lost — so
+// the confidence in SAVDeployed is the probability that at least one of
+// the spoofed probes would have been delivered were nothing filtering,
+// using a Wilson lower bound on the control answer rate as the
+// delivery rate:
+//
+//	conf = 1 - (1 - wilsonLower(ctlAns, ctlSent))^spoofedSent
+//
+// The delivery-rate estimate is the smaller of the per-AS bound and
+// the scan-wide pooled bound (pooledLB): a handful of lucky per-AS
+// control answers under heavy loss must not manufacture confidence the
+// fleet-wide delivery rate contradicts. Both are lower bounds, so the
+// min is conservative — exactly the direction the evidence contract
+// wants (degrade to low confidence, never to wrong high confidence).
+// Under probe-storm both bounds collapse and the confidence honestly
+// collapses with them; more rounds recover it. Discarded off-path
+// answers poison the measurement, so an AS with discards and no clean
+// spoofed answer stays SAVUnknown rather than being promoted on
+// contaminated silence.
+func verdict(spoofedSent, spoofedAns, discards, ctlSent, ctlAns int, pooledLB float64) (SAVState, float64) {
+	if spoofedAns > 0 {
+		return SAVAbsent, 1
+	}
+	if spoofedSent == 0 || ctlAns == 0 {
+		return SAVUnknown, 0
+	}
+	if discards > 0 {
+		return SAVUnknown, 0
+	}
+	rate := wilsonLower(ctlAns, ctlSent)
+	if pooledLB < rate {
+		rate = pooledLB
+	}
+	return SAVDeployed, 1 - math.Pow(1-rate, float64(spoofedSent))
+}
+
+// wilsonLower is the one-sided 95% Wilson score lower bound on a
+// binomial proportion of succ successes in n trials.
+func wilsonLower(succ, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	const z = 1.645
+	p := float64(succ) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := p + z*z/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lb := (center - margin) / denom
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// Report derives the current verdicts for one AS.
+func (inf *SAVInference) Report(as int) ASReport {
+	c := inf.c[as]
+	r := ASReport{
+		AS: as, Link: c.link,
+		CtlSent: c.ctlSent, CtlAns: c.ctlAns,
+		InSent: c.inSent, InAns: c.inAns,
+		OutSent: c.outSent, OutAns: c.outAns,
+		TTLDiscards: c.ttlDiscard,
+	}
+	lb := wilsonLower(inf.totalCtlAns, inf.totalCtlSent)
+	r.Inbound, r.InConfidence = verdict(c.inSent, c.inAns, c.ttlDiscard, c.ctlSent, c.ctlAns, lb)
+	r.Outbound, r.OutConfidence = verdict(c.outSent, c.outAns, c.ttlDiscard, c.ctlSent, c.ctlAns, lb)
+	return r
+}
+
+// Reports returns the reports of every probed AS, ascending by index.
+func (inf *SAVInference) Reports() []ASReport {
+	var out []ASReport
+	for as := range inf.c {
+		if inf.c[as].probed {
+			out = append(out, inf.Report(as))
+		}
+	}
+	return out
+}
+
+// Probed reports whether AS as has been sent at least one probe.
+func (inf *SAVInference) Probed(as int) bool {
+	return as >= 0 && as < len(inf.c) && inf.c[as].probed
+}
+
+// Covered reports whether AS as has at least one answered control —
+// the denominator-side requirement for any confident verdict.
+func (inf *SAVInference) Covered(as int) bool {
+	return as >= 0 && as < len(inf.c) && inf.c[as].ctlAns > 0
+}

@@ -51,6 +51,44 @@ func TestNextGreedyVolumeMasked(t *testing.T) {
 	}
 }
 
+func TestRotationWindow(t *testing.T) {
+	// Budget-bounded rounds must cover every target over ceil(n/budget)
+	// consecutive rounds, deterministically.
+	const n, budget = 10, 4
+	for base := uint64(0); base < 5; base++ {
+		seen := make(map[int]bool)
+		rounds := (n + budget - 1) / budget
+		for r := 0; r < rounds; r++ {
+			w := RotationWindow(n, budget, base+uint64(r))
+			if len(w) != budget {
+				t.Fatalf("round %d: window size %d, want %d", r, len(w), budget)
+			}
+			for _, i := range w {
+				if i < 0 || i >= n {
+					t.Fatalf("round %d: index %d out of range", r, i)
+				}
+				seen[i] = true
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("base %d: %d/%d targets covered in %d rounds", base, len(seen), n, rounds)
+		}
+	}
+	// Determinism: the same round always yields the same window.
+	if !reflect.DeepEqual(RotationWindow(10, 4, 3), RotationWindow(10, 4, 3)) {
+		t.Fatal("RotationWindow not deterministic")
+	}
+	// Unbounded budget (or zero) covers everything in one round.
+	for _, b := range []int{0, 10, 99} {
+		if w := RotationWindow(10, b, 7); len(w) != 10 {
+			t.Fatalf("budget %d: window %v, want all 10", b, w)
+		}
+	}
+	if RotationWindow(0, 4, 0) != nil {
+		t.Fatal("n=0 must yield nil")
+	}
+}
+
 func TestQuarantineMask(t *testing.T) {
 	plan := []PlannedConfig{
 		{Config: bgp.Config{Anns: []bgp.Announcement{{Link: 0}, {Link: 1}}}},

@@ -116,6 +116,33 @@ func QuarantineMask(plan []PlannedConfig, isQuarantined func(bgp.LinkID) bool) [
 	return blocked
 }
 
+// RotationWindow returns the target indices a budget-bounded scan round
+// should cover, rotating fairly through all n targets: round r covers
+// budget consecutive indices starting at (r*budget) mod n, wrapping, so
+// ceil(n/budget) consecutive rounds touch every target and every target
+// is revisited at the same cadence. With budget >= n (or budget <= 0)
+// the window is simply all n targets. The probe scan loop
+// (internal/probe) schedules its per-round spoof-probe targets with
+// this.
+func RotationWindow(n, budget int, round uint64) []int {
+	if n <= 0 {
+		return nil
+	}
+	if budget <= 0 || budget >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	start := int((round * uint64(budget)) % uint64(n))
+	out := make([]int, budget)
+	for i := range out {
+		out[i] = (start + i) % n
+	}
+	return out
+}
+
 // GreedyTrajectory deploys, at every step, the not-yet-deployed
 // configuration that minimizes the resulting mean cluster size (§V-C's
 // "iterative algorithm"). maxSteps bounds the trajectory length (the

@@ -34,6 +34,16 @@ func NewBCP38Model(n int, deployFrac float64, seed uint64) (*BCP38Model, error) 
 	return m, nil
 }
 
+// NewBCP38FromVector builds a model from an explicit per-source
+// deployment vector — e.g. one inferred by active SAV probing
+// (internal/probe) rather than seeded at random. The vector is copied.
+func NewBCP38FromVector(deployed []bool) *BCP38Model {
+	return &BCP38Model{deployed: append([]bool(nil), deployed...)}
+}
+
+// NumSources returns how many sources the model tracks.
+func (m *BCP38Model) NumSources() int { return len(m.deployed) }
+
 // Deployed reports whether source k filters spoofed traffic.
 func (m *BCP38Model) Deployed(k int) bool { return m.deployed[k] }
 

@@ -3,6 +3,7 @@ package spoof
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 
 	"spooftrack/internal/addr"
 	"spooftrack/internal/bgp"
@@ -46,12 +47,103 @@ func (v Verdict) String() string {
 	}
 }
 
+// SAVSignal is the per-AS spoofability signal an active probing pass
+// (internal/probe) derives: whether the network's outbound
+// source-address validation would let it originate spoofed traffic.
+// Only high-confidence probe verdicts should be promoted into signals;
+// everything else stays SAVNoData.
+type SAVSignal int8
+
+const (
+	// SAVNoData means the probe channel has no (confident) verdict.
+	SAVNoData SAVSignal = iota
+	// SAVCanSpoof means a spoofed probe escaped the network: it can
+	// originate spoofed traffic (no outbound SAV / BCP38).
+	SAVCanSpoof
+	// SAVCannotSpoof means spoofed probes were filtered while control
+	// probes answered: outbound SAV is deployed.
+	SAVCannotSpoof
+)
+
+// String names the signal.
+func (s SAVSignal) String() string {
+	switch s {
+	case SAVNoData:
+		return "no_data"
+	case SAVCanSpoof:
+		return "can_spoof"
+	case SAVCannotSpoof:
+		return "cannot_spoof"
+	default:
+		return fmt.Sprintf("SAVSignal(%d)", int(s))
+	}
+}
+
+// ProbeChannel is the second evidence channel active probing feeds the
+// classifier: an independently measured ingress link per AS (the link a
+// probed network's replies actually arrived on) and a per-AS
+// spoofability signal. Both are indexed by dense topology index, like
+// the classifier's catchment vector; bgp.NoLink / SAVNoData mark ASes
+// the probing pass has no evidence for.
+type ProbeChannel struct {
+	Link   []bgp.LinkID
+	Signal []SAVSignal
+}
+
+// ChannelSource records which evidence channels produced a merged
+// verdict — the audit trail that makes two-channel classification
+// reviewable.
+type ChannelSource int8
+
+const (
+	// ChanNone: neither channel had evidence for the claimed source.
+	ChanNone ChannelSource = iota
+	// ChanCatchment: only the campaign catchment channel had evidence.
+	ChanCatchment
+	// ChanProbe: only the probe channel had evidence.
+	ChanProbe
+	// ChanAgree: both channels had evidence and named the same link.
+	ChanAgree
+	// ChanConflict: the channels named different expected links.
+	ChanConflict
+)
+
+// String names the channel source as used in metrics labels.
+func (c ChannelSource) String() string {
+	switch c {
+	case ChanNone:
+		return "none"
+	case ChanCatchment:
+		return "catchment_only"
+	case ChanProbe:
+		return "probe_only"
+	case ChanAgree:
+		return "agree"
+	case ChanConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("ChannelSource(%d)", int(c))
+	}
+}
+
+const numChannelSources = int(ChanConflict) + 1
+
+// ChannelStats counts merged classifications by evidence source.
+type ChannelStats struct {
+	None, CatchmentOnly, ProbeOnly, Agree, Conflict int64
+}
+
 // Classifier labels ingress traffic using a configuration's catchments.
 type Classifier struct {
 	// catchment[i] is the expected ingress link of the AS at dense
 	// topology index i.
 	catchment []bgp.LinkID
 	mapper    addr.Mapper
+
+	// probe is the optional second evidence channel; nil until
+	// SetProbeChannel installs one. chanCounts audits ClassifyMerged.
+	probe      *ProbeChannel
+	chanCounts [numChannelSources]atomic.Int64
 }
 
 // NewClassifier builds a classifier from a per-AS catchment vector
@@ -76,6 +168,110 @@ func (c *Classifier) Classify(src netip.Addr, ingress bgp.LinkID) Verdict {
 		return VerdictLegit
 	}
 	return VerdictSpoofed
+}
+
+// SetProbeChannel installs (or, with nil, removes) the active-probing
+// evidence channel. Install before classification starts; ClassifyMerged
+// reads it without locking.
+func (c *Classifier) SetProbeChannel(pc *ProbeChannel) { c.probe = pc }
+
+// ClassifyMerged labels one packet using both evidence channels, with
+// the following precedence rules (also DESIGN.md §5.5):
+//
+//  1. If neither channel knows the claimed source's AS, the verdict is
+//     VerdictUnknown (ChanNone).
+//  2. If exactly one channel has an expected link, that channel decides
+//     (ChanCatchment / ChanProbe). The probe channel therefore recovers
+//     packets the catchment channel alone would leave VerdictUnknown.
+//  3. If both channels agree on the expected link, the shared
+//     expectation decides (ChanAgree).
+//  4. If the channels conflict (different expected links), the packet is
+//     VerdictSpoofed only when the ingress matches *neither* channel
+//     (ChanConflict): a packet corroborated by either evidence channel
+//     is never labeled spoofed on the other's say-so, keeping the
+//     false-positive direction conservative under route drift.
+//
+// The SAV spoofability signals ride the same channel but do not alter
+// per-packet verdicts — a claimed source's own filtering says nothing
+// about who forged its address; they gate candidate sets in attribution
+// (FilterCandidatesBySAV).
+func (c *Classifier) ClassifyMerged(src netip.Addr, ingress bgp.LinkID) (Verdict, ChannelSource) {
+	as, ok := c.mapper.Map(src)
+	if !ok {
+		c.chanCounts[ChanNone].Add(1)
+		return VerdictUnknown, ChanNone
+	}
+	e1, e2 := bgp.NoLink, bgp.NoLink
+	if as < len(c.catchment) {
+		e1 = c.catchment[as]
+	}
+	if c.probe != nil && as < len(c.probe.Link) {
+		e2 = c.probe.Link[as]
+	}
+	verdictOf := func(expected bgp.LinkID) Verdict {
+		if expected == ingress {
+			return VerdictLegit
+		}
+		return VerdictSpoofed
+	}
+	var v Verdict
+	var chanSrc ChannelSource
+	switch {
+	case e1 == bgp.NoLink && e2 == bgp.NoLink:
+		v, chanSrc = VerdictUnknown, ChanNone
+	case e2 == bgp.NoLink:
+		v, chanSrc = verdictOf(e1), ChanCatchment
+	case e1 == bgp.NoLink:
+		v, chanSrc = verdictOf(e2), ChanProbe
+	case e1 == e2:
+		v, chanSrc = verdictOf(e1), ChanAgree
+	default:
+		chanSrc = ChanConflict
+		if e1 == ingress || e2 == ingress {
+			v = VerdictLegit
+		} else {
+			v = VerdictSpoofed
+		}
+	}
+	c.chanCounts[chanSrc].Add(1)
+	return v, chanSrc
+}
+
+// ChannelStats returns the cumulative ClassifyMerged audit counts.
+func (c *Classifier) ChannelStats() ChannelStats {
+	return ChannelStats{
+		None:          c.chanCounts[ChanNone].Load(),
+		CatchmentOnly: c.chanCounts[ChanCatchment].Load(),
+		ProbeOnly:     c.chanCounts[ChanProbe].Load(),
+		Agree:         c.chanCounts[ChanAgree].Load(),
+		Conflict:      c.chanCounts[ChanConflict].Load(),
+	}
+}
+
+// FilterCandidatesBySAV splits catchment-attribution candidates by the
+// probe channel's spoofability signals: a candidate whose network is
+// confirmed unable to emit spoofed traffic (SAVCannotSpoof) cannot be
+// the origin and moves to the conflicted list; everything else —
+// corroborated (SAVCanSpoof) or unprobed (SAVNoData) — is kept.
+// candidates hold source positions; sources maps positions to dense
+// topology indices (signal is indexed by the latter). The conflicted
+// list is the agreement/conflict audit trail between the passive and
+// active channels at attribution level: it is returned, not discarded.
+func FilterCandidatesBySAV(candidates []int, sources []int, signal []SAVSignal) (kept, conflicted []int) {
+	for _, k := range candidates {
+		excluded := false
+		if k >= 0 && k < len(sources) {
+			if as := sources[k]; as >= 0 && as < len(signal) && signal[as] == SAVCannotSpoof {
+				excluded = true
+			}
+		}
+		if excluded {
+			conflicted = append(conflicted, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	return kept, conflicted
 }
 
 // FlowSample is one observed packet for classifier evaluation.

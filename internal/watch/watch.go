@@ -89,6 +89,29 @@ func Ratio(num, den Expr) Expr {
 	}
 }
 
+// VecSum adds every child of a labeled vector — the cross-label total
+// Series can't express without enumerating keys (e.g. probe losses
+// summed over all peering links). Missing when the vector is absent or
+// has no children, so rules on a vector that hasn't emitted yet stay in
+// "no data" instead of comparing against zero.
+func VecSum(name string) Expr {
+	return func(snap map[string]any) (float64, bool) {
+		vec, ok := snap[name].(map[string]any)
+		if !ok || len(vec) == 0 {
+			return 0, false
+		}
+		total := 0.0
+		for _, v := range vec {
+			s, ok := scalar(v)
+			if !ok {
+				return 0, false
+			}
+			total += s
+		}
+		return total, true
+	}
+}
+
 // Sum adds expressions; missing when any operand is missing.
 func Sum(exprs ...Expr) Expr {
 	return func(snap map[string]any) (float64, bool) {

@@ -123,6 +123,33 @@ func TestRatioAndMissingData(t *testing.T) {
 	}
 }
 
+func TestVecSumExpr(t *testing.T) {
+	reg := metrics.NewRegistry()
+	vec := reg.CounterVec("probe_lost_total", "link")
+	// An empty vector is "no data", not zero — a rule on an idle scan
+	// loop must not compare against 0.
+	if _, ok := VecSum("probe_lost_total")(reg.Snapshot()); ok {
+		t.Fatal("empty vector produced data")
+	}
+	if _, ok := VecSum("no_such_metric")(reg.Snapshot()); ok {
+		t.Fatal("absent metric produced data")
+	}
+	vec.With("ams01").Add(3)
+	vec.With("sea02").Add(4)
+	v, ok := VecSum("probe_lost_total")(reg.Snapshot())
+	if !ok || v != 7 {
+		t.Fatalf("VecSum = %v, %v, want 7, true", v, ok)
+	}
+	// Composes with Ratio for cross-link loss-rate SLOs.
+	sent := reg.CounterVec("probe_sent_total", "link")
+	sent.With("ams01").Add(10)
+	sent.With("sea02").Add(4)
+	r, ok := Ratio(VecSum("probe_lost_total"), VecSum("probe_sent_total"))(reg.Snapshot())
+	if !ok || r != 0.5 {
+		t.Fatalf("loss ratio = %v, %v, want 0.5, true", r, ok)
+	}
+}
+
 func TestQuantileExpr(t *testing.T) {
 	reg := metrics.NewRegistry()
 	h := reg.Histogram("lag_seconds", 0.1, 1, 10)

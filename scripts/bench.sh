@@ -2,8 +2,9 @@
 # Benchmark-regression harness: runs the propagation-engine
 # micro-benchmarks (optimized engine, reference implementation,
 # poison-heavy, parallel, and traced on/off variants — the latter pair
-# guards the tracing-disabled overhead budget) and the figure
-# benchmarks, then
+# guards the tracing-disabled overhead budget), the probe-scan
+# benchmarks (pinning that a concurrent SAV scan loop does not perturb
+# propagation beyond a 3x budget), and the figure benchmarks, then
 # records every result — ns/op, B/op, allocs/op, and the figures' custom
 # metrics — in BENCH_<date>.json for before/after comparison across
 # commits.
@@ -24,7 +25,8 @@ ENGINE_BENCHTIME=${ENGINE_BENCHTIME:-20x}
 FIGURE_BENCHTIME=${FIGURE_BENCHTIME:-1x}
 
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+PROBE_TMP=$(mktemp)
+trap 'rm -f "$TMP" "$PROBE_TMP"' EXIT
 
 echo "==> engine micro-benchmarks (-benchtime $ENGINE_BENCHTIME)"
 go test ./internal/bgp/ -run '^$' -bench 'Propagate' -benchmem \
@@ -39,6 +41,28 @@ go test ./internal/peering/ -run '^$' -bench 'PlatformPropagate' -benchmem \
 	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
 go test ./internal/stream/ -run '^$' -bench 'StreamIngestShed' -benchmem \
 	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
+
+echo "==> probe-scan benchmarks (scan round cost; probe scans must not perturb propagation)"
+go test ./internal/probe/ -run '^$' -bench 'ProbeRound|PropagateQuiet|PropagateDuringProbeScan' -benchmem \
+	-benchtime "$ENGINE_BENCHTIME" | tee "$PROBE_TMP"
+cat "$PROBE_TMP" >>"$TMP"
+# Perturbation budget: propagation with a concurrent probe-scan loop may
+# cost at most 3x the quiet baseline (generous enough for CI-runner
+# scheduling noise, tight enough to catch a lock leaking across the
+# subsystems).
+awk '
+/^BenchmarkPropagateQuiet/ { quiet = $3 }
+/^BenchmarkPropagateDuringProbeScan/ { scan = $3 }
+END {
+	if (quiet + 0 == 0 || scan + 0 == 0) {
+		print "bench: missing propagate-perturbation results"; exit 1
+	}
+	ratio = scan / quiet
+	printf "bench: propagate during probe scan = %.2fx quiet baseline\n", ratio
+	if (ratio > 3) {
+		print "bench: probe scans perturb propagation beyond the 3x budget"; exit 1
+	}
+}' "$PROBE_TMP"
 
 echo "==> figure benchmarks (-benchtime $FIGURE_BENCHTIME)"
 go test . -run '^$' -bench '.' -benchmem \

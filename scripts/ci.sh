@@ -16,11 +16,14 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch, fault, peering)"
-go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/... ./internal/fault/... ./internal/peering/...
+echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch, fault, peering, probe)"
+go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/... ./internal/fault/... ./internal/peering/... ./internal/probe/...
 
 echo "==> chaos smoke (fixed-seed fault profiles, campaigns must converge)"
 go test ./internal/core/ -run 'Chaos' -count=1
+
+echo "==> probe chaos smoke (probe-storm must degrade to low confidence, never wrong)"
+go test ./internal/probe/ -run 'ProbeStorm' -count=1
 
 echo "==> bench smoke (PropagateFullScale, 1 iteration)"
 go test ./internal/bgp/ -run '^$' -bench 'PropagateFullScale' -benchmem -benchtime 1x
