@@ -100,6 +100,7 @@ func main() {
 		probeBudget   = flag.Int("probe-budget", 200, "probe targets visited per scan round (0 = all)")
 		probeCovSLO   = flag.Float64("slo-probe-coverage", 0.05, "probe-coverage SLO floor (0..1)")
 		probeLossSLO  = flag.Float64("slo-probe-loss", 0.9, "probe loss-rate SLO ceiling (0..1)")
+		cacheCap      = flag.Int("outcome-cache-cap", 0, "outcome cache capacity in entries (0 = default, negative = unbounded)")
 	)
 	flag.Parse()
 
@@ -133,6 +134,7 @@ func main() {
 	tp.NumASes = *ases
 	params.World.Topo = &tp
 	params.World.MaxPoisonTargets = *poison
+	params.World.OutcomeCacheCap = *cacheCap
 	params.UseTruth = true
 	params.Metrics = reg
 	params.FaultProfile = *faultProfile

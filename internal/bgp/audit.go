@@ -62,14 +62,10 @@ func (e *Engine) Audit(out *Outcome) *PolicyAudit {
 	scratch := e.getScratch()
 	defer e.putScratch(scratch, cfg)
 	e.buildCtx(scratch, cfg)
-	// offerFrom consults the cached export class of each sender; the
-	// outcome's selections were computed by an earlier propagation, so
-	// refresh the cache for the frozen state first.
-	for i := 0; i < n; i++ {
-		if out.sel[i].class != classInvalid {
-			scratch.sendClass[i] = e.trueClass(i, out.sel[i])
-		}
-	}
+	// The export-class checks below read the classes the outcome's
+	// propagation computed and persisted; alias them (read-only — the
+	// outcome is immutable, and putScratch drops the alias).
+	scratch.sendClass = out.sendCls
 	for i := 0; i < n; i++ {
 		s := out.sel[i]
 		if s.class == classInvalid {

@@ -7,6 +7,14 @@ import (
 	"spooftrack/internal/trace"
 )
 
+// DefaultOutcomeCacheCapacity bounds a cache built by NewOutcomeCache.
+// An Outcome holds one selection per AS (~1.25 MB at 80k ASes), so an
+// unbounded cache walks into multi-gigabyte territory over a
+// 705-configuration campaign sweep; 1024 entries keeps every config of
+// the paper's campaigns resident at small scale while capping worst-case
+// memory at internet scale.
+const DefaultOutcomeCacheCapacity = 1024
+
 // OutcomeCache memoizes propagation outcomes by canonical configuration
 // key (Config.Key). Outcomes are immutable, so cache hits return the
 // same *Outcome pointer the first propagation produced — callers get
@@ -18,30 +26,120 @@ import (
 // revisit configurations constantly (SubCampaign emulation, greedy
 // re-ranking, targeted re-deploys); with the cache each distinct
 // configuration is propagated exactly once per engine.
+//
+// The cache is bounded: beyond its capacity the least-recently-used
+// outcome is evicted (hits refresh recency). It also remembers the most
+// recently resolved outcome and hands it to Engine.PropagateDelta on a
+// miss, so consumers that replay near-identical configurations — the
+// campaign runner, the scheduler's predictor, the stream controller's
+// greedy loop — ride the incremental path without code changes;
+// PropagateDelta transparently falls back to a full run whenever the
+// previous outcome cannot help.
 type OutcomeCache struct {
 	mu     sync.Mutex
-	m      map[string]*Outcome
+	m      map[string]*cacheEntry
+	cap    int
+	head   *cacheEntry // most recently used
+	tail   *cacheEntry // least recently used
+	last   *Outcome    // most recently resolved outcome, delta seed
 	hits   uint64
 	misses uint64
-	// hitC/missC, when set via Instrument, are bumped alongside the
-	// internal counters so a registry sees hits and misses as one
-	// labeled family instead of two scraped gauges.
-	hitC  *metrics.Counter
-	missC *metrics.Counter
+	evicts uint64
+	// hitC/missC/evictC, when set via Instrument, are bumped alongside
+	// the internal counters so a registry sees the events as one labeled
+	// family instead of scraped gauges.
+	hitC   *metrics.Counter
+	missC  *metrics.Counter
+	evictC *metrics.Counter
+}
+
+type cacheEntry struct {
+	key        string
+	out        *Outcome
+	prev, next *cacheEntry
 }
 
 // CacheStats is a point-in-time view of a cache's effectiveness:
-// cumulative hit and miss counts plus the current number of memoized
-// outcomes. Exposed through the metrics registry by cmd/spooftrackd.
+// cumulative hit, miss, and eviction counts plus the current number of
+// memoized outcomes and the configured capacity (0 = unbounded).
+// Exposed through the metrics registry by cmd/spooftrackd.
 type CacheStats struct {
-	Hits   uint64
-	Misses uint64
-	Size   int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+	Capacity  int
 }
 
-// NewOutcomeCache returns an empty cache.
+// NewOutcomeCache returns an empty cache bounded at
+// DefaultOutcomeCacheCapacity entries.
 func NewOutcomeCache() *OutcomeCache {
-	return &OutcomeCache{m: make(map[string]*Outcome)}
+	return NewOutcomeCacheCap(DefaultOutcomeCacheCapacity)
+}
+
+// NewOutcomeCacheCap returns an empty cache bounded at capacity entries;
+// capacity <= 0 means unbounded.
+func NewOutcomeCacheCap(capacity int) *OutcomeCache {
+	return &OutcomeCache{m: make(map[string]*cacheEntry), cap: capacity}
+}
+
+// SetCapacity rebounds the cache (<= 0 means unbounded), evicting from
+// the LRU end if the current contents exceed the new capacity.
+func (c *OutcomeCache) SetCapacity(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capacity
+	c.evictOver()
+}
+
+// touch moves an entry to the MRU position. Caller holds mu.
+func (c *OutcomeCache) touch(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	// unlink
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	// push front
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// evictOver drops LRU entries until the size fits the capacity. Caller
+// holds mu. Evicted outcomes stay valid for callers still holding them
+// (outcomes are immutable); only the memoization is dropped.
+func (c *OutcomeCache) evictOver() {
+	if c.cap <= 0 {
+		return
+	}
+	for len(c.m) > c.cap && c.tail != nil {
+		victim := c.tail
+		c.tail = victim.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		} else {
+			c.head = nil
+		}
+		delete(c.m, victim.key)
+		c.evicts++
+		if c.evictC != nil {
+			c.evictC.Inc()
+		}
+	}
 }
 
 // Propagate returns the engine's outcome for the configuration, reusing
@@ -54,25 +152,41 @@ func (c *OutcomeCache) Propagate(e *Engine, cfg Config) (*Outcome, error) {
 
 // PropagateTraced is Propagate with trace-span parentage: the lookup's
 // "bgp.cache" span (carrying hit/miss counters and the cache size)
-// nests under parent, and on a miss the engine's propagation span nests
-// under the lookup. With tracing disabled this costs a few atomic loads
-// over Propagate.
+// nests under parent, and on a miss the engine's delta propagation span
+// nests under the lookup. With tracing disabled this costs a few atomic
+// loads over Propagate.
 func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span) (*Outcome, error) {
 	sp := trace.StartChild(parent, "bgp.cache")
 	key := cfg.Key()
 	c.mu.Lock()
-	if out, ok := c.m[key]; ok {
+	if ent, ok := c.m[key]; ok {
 		c.hits++
 		if c.hitC != nil {
 			c.hitC.Inc()
 		}
+		c.touch(ent)
+		c.last = ent.out
 		size := len(c.m)
 		c.mu.Unlock()
 		c.endSpan(sp, 1, 0, size)
-		return out, nil
+		return ent.out, nil
 	}
+	// Seed the miss with the most recent outcome: campaign sweeps and
+	// greedy reconfiguration visit near-identical configs back to back,
+	// which is exactly the delta fast path. Any converged previous
+	// outcome yields the same (byte-identical) result, so racing misses
+	// picking different seeds is harmless.
+	last := c.last
 	c.mu.Unlock()
-	out, err := e.PropagateTraced(cfg, sp)
+	var (
+		out Outcome
+		err error
+	)
+	if last != nil {
+		out, _, err = e.PropagateDeltaTraced(last, last.Config(), cfg, sp)
+	} else {
+		out, err = e.PropagateTraced(cfg, sp)
+	}
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -83,20 +197,33 @@ func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span
 		if c.hitC != nil {
 			c.hitC.Inc()
 		}
+		c.touch(prior)
+		c.last = prior.out
 		size := len(c.m)
 		c.mu.Unlock()
 		c.endSpan(sp, 1, 0, size)
-		return prior, nil
+		return prior.out, nil
 	}
 	c.misses++
 	if c.missC != nil {
 		c.missC.Inc()
 	}
-	c.m[key] = &out
+	ent := &cacheEntry{key: key, out: &out}
+	c.m[key] = ent
+	ent.next = c.head
+	if c.head != nil {
+		c.head.prev = ent
+	}
+	c.head = ent
+	if c.tail == nil {
+		c.tail = ent
+	}
+	c.last = ent.out
+	c.evictOver()
 	size := len(c.m)
 	c.mu.Unlock()
 	c.endSpan(sp, 0, 1, size)
-	return &out, nil
+	return ent.out, nil
 }
 
 // endSpan stamps a lookup span with its hit/miss outcome and the cache
@@ -112,18 +239,20 @@ func (c *OutcomeCache) endSpan(sp *trace.Span, hit, miss int64, size int) {
 }
 
 // Instrument attaches a labeled counter vector (conventionally
-// bgp_outcome_cache_requests_total{result}) so hits and misses are
-// counted under result="hit" / result="miss" as they happen. Nil
-// detaches. Counts recorded before Instrument are not replayed.
+// bgp_outcome_cache_requests_total{result}) so hits, misses, and LRU
+// evictions are counted under result="hit" / result="miss" /
+// result="eviction" as they happen. Nil detaches. Counts recorded before
+// Instrument are not replayed.
 func (c *OutcomeCache) Instrument(v *metrics.CounterVec) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if v == nil {
-		c.hitC, c.missC = nil, nil
+		c.hitC, c.missC, c.evictC = nil, nil, nil
 		return
 	}
 	c.hitC = v.With("hit")
 	c.missC = v.With("miss")
+	c.evictC = v.With("eviction")
 }
 
 // Stats returns the cumulative hit and miss counts.
@@ -133,12 +262,13 @@ func (c *OutcomeCache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// StatsSnapshot returns hit, miss, and size counters in one consistent
-// read — the shape the metrics registry's gauge functions consume.
+// StatsSnapshot returns hit, miss, eviction, and size counters in one
+// consistent read — the shape the metrics registry's gauge functions
+// consume.
 func (c *OutcomeCache) StatsSnapshot() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.m)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evicts, Size: len(c.m), Capacity: c.cap}
 }
 
 // Len returns the number of cached outcomes.

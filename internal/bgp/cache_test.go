@@ -1,0 +1,151 @@
+package bgp
+
+import (
+	"testing"
+
+	"spooftrack/internal/metrics"
+)
+
+// distinctConfigs returns n routing-distinct configurations (prepend
+// ladder on one link).
+func distinctConfigs(n int) []Config {
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = Config{Anns: []Announcement{{Link: 0, Prepend: i}}}
+	}
+	return cfgs
+}
+
+// TestOutcomeCacheCapHolds fills a small-capacity cache past its bound
+// and checks the cap holds, LRU order decides the victims, and the
+// eviction counter (internal and instrumented) advances.
+func TestOutcomeCacheCapHolds(t *testing.T) {
+	g, o := worldForTest(t, 9, 600)
+	e := newEngine(t, g, o, noiseless())
+	cache := NewOutcomeCacheCap(4)
+	reg := metrics.NewRegistry()
+	vec := reg.CounterVec("bgp_outcome_cache_requests_total", "result")
+	cache.Instrument(vec)
+
+	cfgs := distinctConfigs(10)
+	for _, cfg := range cfgs {
+		if _, err := cache.Propagate(e, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if cache.Len() > 4 {
+			t.Fatalf("cache grew to %d entries, cap is 4", cache.Len())
+		}
+	}
+	st := cache.StatsSnapshot()
+	if st.Size != 4 || st.Capacity != 4 {
+		t.Fatalf("size=%d capacity=%d, want 4/4", st.Size, st.Capacity)
+	}
+	if st.Evictions != 6 {
+		t.Fatalf("evictions=%d, want 6", st.Evictions)
+	}
+	if got := vec.With("eviction").Value(); got != 6 {
+		t.Fatalf("instrumented eviction counter=%d, want 6", got)
+	}
+
+	// The last 4 configs must still be resident (hits), the first 6 gone.
+	h0, m0 := cache.Stats()
+	for _, cfg := range cfgs[6:] {
+		if _, err := cache.Propagate(e, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, m1 := cache.Stats()
+	if h1-h0 != 4 || m1 != m0 {
+		t.Fatalf("resident tail: %d hits %d new misses, want 4 hits 0 misses", h1-h0, m1-m0)
+	}
+	if _, err := cache.Propagate(e, cfgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, m2 := cache.Stats(); m2 != m1+1 {
+		t.Fatal("evicted head config should miss")
+	}
+}
+
+// TestOutcomeCacheLRUTouch checks that a hit refreshes recency: touched
+// entries survive an insert wave that evicts untouched ones.
+func TestOutcomeCacheLRUTouch(t *testing.T) {
+	g, o := worldForTest(t, 9, 600)
+	e := newEngine(t, g, o, noiseless())
+	cache := NewOutcomeCacheCap(3)
+	cfgs := distinctConfigs(5)
+	for _, cfg := range cfgs[:3] {
+		if _, err := cache.Propagate(e, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch cfg[0], making cfg[1] the LRU victim of the next insert.
+	if _, err := cache.Propagate(e, cfgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Propagate(e, cfgs[3]); err != nil {
+		t.Fatal(err)
+	}
+	_, m0 := cache.Stats()
+	if _, err := cache.Propagate(e, cfgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := cache.Stats(); m != m0 {
+		t.Fatal("touched entry was evicted")
+	}
+	if _, err := cache.Propagate(e, cfgs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := cache.Stats(); m != m0+1 {
+		t.Fatal("untouched entry should have been the eviction victim")
+	}
+}
+
+// TestOutcomeCacheSetCapacity shrinks a populated cache and checks the
+// overflow is evicted immediately; capacity 0 lifts the bound.
+func TestOutcomeCacheSetCapacity(t *testing.T) {
+	g, o := worldForTest(t, 9, 600)
+	e := newEngine(t, g, o, noiseless())
+	cache := NewOutcomeCacheCap(0)
+	for _, cfg := range distinctConfigs(8) {
+		if _, err := cache.Propagate(e, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 8 {
+		t.Fatalf("unbounded cache holds %d, want 8", cache.Len())
+	}
+	cache.SetCapacity(2)
+	if cache.Len() != 2 {
+		t.Fatalf("after shrink cache holds %d, want 2", cache.Len())
+	}
+	if st := cache.StatsSnapshot(); st.Evictions != 6 {
+		t.Fatalf("evictions=%d, want 6", st.Evictions)
+	}
+}
+
+// TestOutcomeCacheDeltaSeeding checks that consecutive misses ride the
+// delta path off the previous outcome and still produce the same
+// pointer-stable, byte-identical outcomes as direct propagation.
+func TestOutcomeCacheDeltaSeeding(t *testing.T) {
+	g, o := worldForTest(t, 13, 900)
+	e := newEngine(t, g, o, DefaultParams(13))
+	cache := NewOutcomeCache()
+	for i, cfg := range distinctConfigs(6) {
+		got, err := cache.Propagate(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.Propagate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.converged {
+			t.Fatalf("config %d: cached outcome not converged", i)
+		}
+		for j := range want.sel {
+			if got.sel[j] != want.sel[j] {
+				t.Fatalf("config %d: AS %d selection %+v, direct %+v", i, j, got.sel[j], want.sel[j])
+			}
+		}
+	}
+}

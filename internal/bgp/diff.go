@@ -1,0 +1,204 @@
+package bgp
+
+import (
+	"spooftrack/internal/topo"
+)
+
+// AnnChange classifies how one peering link's announcement differs
+// between two configurations. The delta propagator (delta.go) keys its
+// seeding strategy on this classification.
+type AnnChange int8
+
+const (
+	// AnnUnchanged: the announcement is identical on both sides; every
+	// route derived from it carries over verbatim.
+	AnnUnchanged AnnChange = iota
+	// AnnShifted: same link and communities, but prepend depth or the
+	// poison list differ. Routes carry over with their AS-path length
+	// shifted by a constant; only ASes the shift (or a poison toggle)
+	// could flip need re-evaluation.
+	AnnShifted
+	// AnnReplaced: the link announces on both sides but the community
+	// set changed. Export behaviour along the catchment is reshaped, so
+	// old routes are withdrawn and the catchment rebuilt from the
+	// provider.
+	AnnReplaced
+	// AnnAdded: the link announces only in the new configuration.
+	AnnAdded
+	// AnnRemoved: the link announces only in the previous configuration;
+	// its routes are withdrawn.
+	AnnRemoved
+)
+
+// ConfigDiff is the structured difference between a previous and a new
+// announcement configuration, matched per peering link (configurations
+// hold at most one announcement per link). It drives PropagateDelta's
+// frontier seeding and is also a cheap standalone answer to "what
+// changed between consecutive campaign configs".
+type ConfigDiff struct {
+	// Same is true when the two configurations are routing-identical:
+	// every link carries the same announcement on both sides (the
+	// announcement slices may still be ordered differently).
+	Same bool
+	// Identity is true when Same holds and announcement i of the
+	// previous configuration is announcement i of the new one — the
+	// previous outcome's selection array can be copied verbatim.
+	Identity bool
+
+	// PrevChange[ai] / NewChange[ai] classify each announcement of the
+	// previous / new configuration. PrevChange never contains AnnAdded;
+	// NewChange never contains AnnRemoved.
+	PrevChange []AnnChange
+	NewChange  []AnnChange
+
+	// PrevToNew[ai] maps a previous announcement index to the index of
+	// its carried counterpart in the new configuration (AnnUnchanged or
+	// AnnShifted), or -1 (AnnRemoved / AnnReplaced: routes withdrawn).
+	PrevToNew []int16
+
+	// LenShift[ai], for a previous announcement classified AnnShifted,
+	// is new.PathLen() - prev.PathLen(): the constant every carried
+	// route's AS-path length moves by.
+	LenShift []int32
+
+	// PoisonTouched lists, per previous announcement index, the ASNs
+	// poisoned on exactly one side of a shifted announcement (added or
+	// removed poisons). Their loop-prevention status flipped, so they
+	// are seeded regardless of catchment membership.
+	PoisonTouched [][]topo.ASN
+
+	// NumDirty counts previous announcements whose routes cannot carry
+	// unchanged (shifted, replaced, or removed) plus added new
+	// announcements — a quick "how much changed" scalar.
+	NumDirty int
+}
+
+// Carried reports whether routes selected through previous announcement
+// ai survive into the new configuration (possibly length-shifted).
+func (d *ConfigDiff) Carried(prevAi int) bool { return d.PrevToNew[prevAi] >= 0 }
+
+// DiffConfigs computes the structured difference from prev to next.
+// Announcements are matched by peering link; both configurations must be
+// valid for the same origin (at most one announcement per link).
+func DiffConfigs(prev, next Config) ConfigDiff {
+	d := ConfigDiff{
+		PrevChange:    make([]AnnChange, len(prev.Anns)),
+		NewChange:     make([]AnnChange, len(next.Anns)),
+		PrevToNew:     make([]int16, len(prev.Anns)),
+		LenShift:      make([]int32, len(prev.Anns)),
+		PoisonTouched: make([][]topo.ASN, len(prev.Anns)),
+	}
+	// Configurations carry a handful of announcements (one per platform
+	// link), so a linear link match beats building maps.
+	newByLink := func(l LinkID) int {
+		for i := range next.Anns {
+			if next.Anns[i].Link == l {
+				return i
+			}
+		}
+		return -1
+	}
+	matched := make([]bool, len(next.Anns))
+	identity := len(prev.Anns) == len(next.Anns)
+	same := identity
+	for ai := range prev.Anns {
+		pa := &prev.Anns[ai]
+		ni := newByLink(pa.Link)
+		if ni < 0 {
+			d.PrevChange[ai] = AnnRemoved
+			d.PrevToNew[ai] = -1
+			d.NumDirty++
+			same, identity = false, false
+			continue
+		}
+		matched[ni] = true
+		if ni != ai {
+			identity = false
+		}
+		na := &next.Anns[ni]
+		switch {
+		case annEqual(pa, na):
+			d.PrevChange[ai] = AnnUnchanged
+			d.NewChange[ni] = AnnUnchanged
+			d.PrevToNew[ai] = int16(ni)
+		case communitiesEqual(pa.Communities, na.Communities):
+			d.PrevChange[ai] = AnnShifted
+			d.NewChange[ni] = AnnShifted
+			d.PrevToNew[ai] = int16(ni)
+			d.LenShift[ai] = int32(na.PathLen()) - int32(pa.PathLen())
+			d.PoisonTouched[ai] = poisonSymmetricDiff(pa.Poison, na.Poison)
+			d.NumDirty++
+			same, identity = false, false
+		default:
+			d.PrevChange[ai] = AnnReplaced
+			d.NewChange[ni] = AnnReplaced
+			d.PrevToNew[ai] = -1
+			d.NumDirty++
+			same, identity = false, false
+		}
+	}
+	for ni := range next.Anns {
+		if !matched[ni] {
+			d.NewChange[ni] = AnnAdded
+			d.NumDirty++
+			same, identity = false, false
+		}
+	}
+	d.Same = same
+	d.Identity = identity
+	return d
+}
+
+// annEqual reports whether two announcements are routing-identical:
+// same link, prepend depth, poison list, and communities. Poison order
+// is compared exactly — a reorder yields an AnnShifted with LenShift 0
+// and no touched poisons, which the delta path treats as free.
+func annEqual(a, b *Announcement) bool {
+	if a.Link != b.Link || a.Prepend != b.Prepend || len(a.Poison) != len(b.Poison) {
+		return false
+	}
+	for i := range a.Poison {
+		if a.Poison[i] != b.Poison[i] {
+			return false
+		}
+	}
+	return communitiesEqual(a.Communities, b.Communities)
+}
+
+func communitiesEqual(a, b []Community) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// poisonSymmetricDiff returns the ASNs present in exactly one of the two
+// poison lists (duplicates collapse). Poison lists are tiny (the
+// platform allows 2 per announcement), so quadratic scans are fine.
+func poisonSymmetricDiff(a, b []topo.ASN) []topo.ASN {
+	var out []topo.ASN
+	contains := func(xs []topo.ASN, v topo.ASN) bool {
+		for _, x := range xs {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range a {
+		if !contains(b, v) && !contains(out, v) {
+			out = append(out, v)
+		}
+	}
+	for _, v := range b {
+		if !contains(a, v) && !contains(out, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

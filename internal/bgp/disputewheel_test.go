@@ -88,7 +88,8 @@ func TestDisputeWheelSpiralsToFixedPoint(t *testing.T) {
 
 // TestDisputeWheelAllocsBounded proves the ring queue never grows: even
 // a propagation that churns through the whole event budget performs only
-// the Outcome's selection-array allocation once the scratch is pooled.
+// the Outcome's own array allocations (selections, runner-ups, export
+// classes) once the scratch is pooled.
 func TestDisputeWheelAllocsBounded(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; alloc bound not meaningful")
@@ -102,7 +103,7 @@ func TestDisputeWheelAllocsBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if allocs > 2 {
+	if allocs > 3 {
 		t.Fatalf("budget-exhausting propagation allocated %.0f objects per run, want <= 2", allocs)
 	}
 }

@@ -81,8 +81,15 @@ type Engine struct {
 	// t1f[i] folds params.Tier1PoisonFilter && g.IsTier1(i) into one
 	// per-event load.
 	t1f []bool
+	// rslot[i][k] is the slot of AS i inside the adjacency list of its
+	// k-th neighbor, so the wake filter can read the exact tiebreak
+	// priority a neighbor assigns to an offer from i (e.pri[j][rslot])
+	// without searching j's adjacency. Purely graph-determined, shared
+	// across Perturbed clones.
+	rslot [][]int32
 
 	scratch sync.Pool // *propScratch
+	outArrs sync.Pool // *outcomeArrays, fed by Outcome.Release
 }
 
 // NewEngine builds an engine for the origin over the graph. It validates
@@ -129,7 +136,42 @@ func NewEngine(g *topo.Graph, origin Origin, params Params) (*Engine, error) {
 		}
 		e.pri[i] = pr
 	}
+	e.rslot = reverseSlots(g)
 	return e, nil
+}
+
+// reverseSlots builds, for every AS i and neighbor slot k, the slot of i
+// in that neighbor's (index-sorted) adjacency list. One flat backing
+// array keeps it a single allocation per engine.
+func reverseSlots(g *topo.Graph) [][]int32 {
+	n := g.NumASes()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += g.Degree(i)
+	}
+	flat := make([]int32, total)
+	rs := make([][]int32, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		ns := g.Neighbors(i)
+		row := flat[off : off+len(ns) : off+len(ns)]
+		off += len(ns)
+		for k, nb := range ns {
+			adj := g.Neighbors(nb.Idx)
+			lo, hi := 0, len(adj)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if adj[mid].Idx < i {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			row[k] = int32(lo)
+		}
+		rs[i] = row
+	}
+	return rs
 }
 
 // Graph returns the topology the engine routes over.
@@ -155,6 +197,7 @@ func (e *Engine) Perturbed(frac float64, seed uint64) (*Engine, error) {
 		honorsComm:   append([]bool(nil), e.honorsComm...),
 		pri:          make([][]int32, n),
 		t1f:          e.t1f,
+		rslot:        e.rslot,
 	}
 	copy(cp.pri, e.pri) // shared rows, replaced below for perturbed ASes
 	rng := stats.NewRNG(seed ^ 0xd21f7ed)
@@ -244,9 +287,10 @@ const maxEventsPerAS = 64
 // AS's selected route toward the origin prefix, from which catchments and
 // AS-paths derive. It is deterministic for a given engine and config.
 //
-// The Outcome is returned by value so a propagation performs exactly one
-// heap allocation (the selection array the Outcome owns); all other
-// working state is recycled through the engine's scratch pool.
+// The Outcome is returned by value so a propagation allocates only the
+// per-AS arrays the Outcome owns — and none at all when the caller
+// recycles outcomes with Outcome.Release; all other working state is
+// recycled through the engine's scratch pool.
 func (e *Engine) Propagate(cfg Config) (Outcome, error) {
 	return e.PropagateTraced(cfg, nil)
 }
@@ -263,15 +307,18 @@ func (e *Engine) PropagateTraced(cfg Config, parent *trace.Span) (Outcome, error
 	}
 	sp := trace.StartChild(parent, "bgp.propagate")
 	traced := sp != nil
-	n := e.g.NumASes()
-	out := Outcome{engine: e, cfg: cfg, sel: make([]selection, n), converged: true}
+	out := e.newOutcome(cfg)
+	out.converged = true
 	sel := out.sel
 	for i := range sel {
 		sel[i] = noRoute
+		out.second[i] = noRoute
+		out.sendCls[i] = 0 // pooled arrays arrive unzeroed
 	}
 
 	s := e.getScratch()
 	defer e.putScratch(s, cfg)
+	s.sendClass = out.sendCls
 	e.buildCtx(s, cfg)
 
 	// Seed the queue with the providers receiving direct announcements,
@@ -290,13 +337,32 @@ func (e *Engine) PropagateTraced(cfg Config, parent *trace.Span) (Outcome, error
 	}
 	s.seeds = seeds[:0]
 
-	// Event-driven (Gauss-Seidel) processing: re-evaluate an AS's
-	// decision against the current state; on change, enqueue neighbors.
-	// Sequential processing plus chainInfo's loop check maintains the
-	// invariant that next-hop chains are always acyclic.
-	events := 0
-	highWater := 0
-	budget := maxEventsPerAS * n
+	events, highWater, converged := e.runQueue(cfg, s, sel, out.second, traced)
+	// Policy dispute wheels can prevent convergence, as in real BGP; the
+	// frozen state is still deterministic and reported as such.
+	out.converged = converged
+	if traced {
+		e.endPropagateSpan(sp, &out, cfg, s, events, highWater)
+	}
+	return out, nil
+}
+
+// runQueue drains the scratch's event queue to a routing fixpoint:
+// event-driven (Gauss-Seidel) processing that re-evaluates each popped
+// AS's decision against the current state and, on change, enqueues its
+// neighbors. Sequential processing plus chainInfo's loop check maintains
+// the invariant that next-hop chains are always acyclic. It returns the
+// number of events processed, the queue's high-water mark (tracked only
+// when traced), and whether a fixpoint was reached before the event
+// budget ran out — when it was not, the queue is left non-empty (the
+// caller's putScratch drains it) and sel freezes mid-oscillation.
+//
+// Both Propagate (empty initial state, seeded with the direct-
+// announcement providers) and PropagateDelta (carried previous state,
+// seeded with the diff's dirty frontier) converge through this one
+// loop, so the two paths cannot drift apart in decision semantics.
+func (e *Engine) runQueue(cfg Config, s *propScratch, sel, sel2 []selection, traced bool) (events, highWater int, converged bool) {
+	budget := maxEventsPerAS * e.g.NumASes()
 	for s.qlen > 0 {
 		if traced && s.qlen > highWater {
 			highWater = s.qlen
@@ -305,92 +371,150 @@ func (e *Engine) PropagateTraced(cfg Config, parent *trace.Span) (Outcome, error
 		s.queued[i] = false
 		events++
 		if events > budget {
-			// Policy dispute wheels can prevent convergence, as in real
-			// BGP; freeze the current (deterministic) state and report.
-			out.converged = false
-			if traced {
-				e.endPropagateSpan(sp, &out, cfg, s, events, highWater)
-			}
-			return out, nil
+			return events, highWater, false
 		}
 		s.epoch++
-
-		best := noRoute
-		// bestTrue tracks the winning candidate's true (un-pinned)
-		// relationship class, sparing a topology lookup when the
-		// selection changes. Direct origin routes are class customer.
-		bestTrue := classCustomer
-		if s.direct[i] {
-			// Direct origin announcements (origin is a customer of the
-			// provider; always class customer unless pinned elsewhere).
-			for ai := range cfg.Anns {
-				a := &cfg.Anns[ai]
-				if e.origin.Links[a.Link].Provider != i {
-					continue
-				}
-				if row := s.ctx.poisoned[ai]; row != nil && row[i] && !e.ignorePoison[i] {
-					continue
-				}
-				cand := selection{
-					class:   classCustomer,
-					ann:     int16(ai),
-					pathLen: s.ctx.annLen[ai],
-					nextHop: -1,
-					pri:     -1, // direct customer routes beat equal-length alternatives
-				}
-				if e.betterFor(i, cand, best) {
-					best = cand
-				}
-			}
-		}
-		// Offers from neighbors, based on their current selections.
-		ns := e.g.Neighbors(i)
-		pri := e.pri[i]
-		pinned := e.pinned[i]
-		t1Filter := e.t1f[i]
-		for k, nb := range ns {
-			sn := sel[nb.Idx]
-			if sn.class == classInvalid {
-				continue
-			}
-			// Export filter at the sender: customer-learned (or direct
-			// origin) routes go to everyone; peer/provider-learned routes
-			// only to customers. A pinned selection exports according to
-			// the true relationship class of its next hop (cached in
-			// sendClass). nb.Rel is nb's relationship to i from i's view,
-			// so i is nb's customer exactly when nb.Rel is RelProvider.
-			if s.sendClass[nb.Idx] != classCustomer && nb.Rel != topo.RelProvider {
-				continue
-			}
-			cand, ok := e.offerFrom(sel, sn, nb, i, s, t1Filter)
-			if !ok {
-				continue
-			}
-			tc := cand.class
-			cand.pri = pri[k]
-			if pinned == nb.Idx {
-				cand.class = classPinned
-			}
-			if e.betterFor(i, cand, best) {
-				best = cand
-				bestTrue = tc
-			}
-		}
+		best, second, bestTrue := e.decide(i, cfg, s, sel)
+		// The runner-up refreshes even when the selection does not: a
+		// neighbor's change may have replaced the best alternative without
+		// beating the current best.
+		sel2[i] = second
 		if best != sel[i] {
 			sel[i] = best
 			s.sendClass[i] = bestTrue
-			for _, nb := range ns {
-				if !s.queued[nb.Idx] {
-					s.queued[nb.Idx] = true
-					s.pushQueue(nb.Idx)
+			// Wake filter: a neighbor j only needs to re-decide if it
+			// routes through i, or if the best possible version of i's
+			// new export could strictly beat j's runner-up bound. The
+			// candidate is exact in class, announcement, length lower
+			// bound (communities only lengthen), and tiebreak priority
+			// (via rslot); the omitted validity checks — poison, loop,
+			// route-leak — only weaken or kill the real offer. Below the
+			// bound the offer cannot displace sel[j] (which strictly
+			// beats sel2[j] by the decide invariant) and cannot
+			// invalidate sel2[j] as an upper bound, so skipping the wake
+			// preserves both the fixpoint and the prune soundness.
+			exportable := best.class != classInvalid
+			cls := bestTrue
+			rslot := e.rslot[i]
+			for k, nb := range e.g.Neighbors(i) {
+				j := nb.Idx
+				if s.queued[j] {
+					continue
 				}
+				if sel[j].nextHop != int32(i) {
+					if !exportable {
+						continue
+					}
+					// Valley-free export: i sends best to j only when it is
+					// customer-learned or j is i's customer.
+					if cls != classCustomer && nb.Rel != topo.RelCustomer {
+						continue
+					}
+					// Class of i's offer from j's point of view.
+					oc := classProvider
+					switch nb.Rel {
+					case topo.RelProvider:
+						oc = classCustomer
+					case topo.RelPeer:
+						oc = classPeer
+					}
+					if e.pinned[j] == i {
+						oc = classPinned
+					}
+					cand := selection{
+						class:   oc,
+						ann:     best.ann,
+						pathLen: best.pathLen + 1,
+						nextHop: int32(i),
+						pri:     e.pri[j][rslot[k]],
+					}
+					if !e.betterFor(j, cand, sel2[j]) {
+						continue
+					}
+				}
+				s.queued[j] = true
+				s.pushQueue(j)
 			}
 		}
 	}
-	if traced {
-		e.endPropagateSpan(sp, &out, cfg, s, events, highWater)
+	return events, highWater, true
+}
+
+// decide runs the BGP decision process of AS i against the current
+// selection state: the best route among direct origin announcements and
+// neighbor offers, after export filtering, loop prevention, poisoning,
+// communities, and the tier-1 route-leak filter. Alongside the winner it
+// returns the runner-up — the best offer that lost (noRoute when the
+// winner was the only valid offer) — and the winner's true (un-pinned)
+// relationship class, sparing the caller a topology lookup when the
+// selection changes.
+func (e *Engine) decide(i int, cfg Config, s *propScratch, sel []selection) (selection, selection, int8) {
+	best, second := noRoute, noRoute
+	// Direct origin routes are class customer.
+	bestTrue := classCustomer
+	if s.direct[i] {
+		// Direct origin announcements (origin is a customer of the
+		// provider; always class customer unless pinned elsewhere).
+		for ai := range cfg.Anns {
+			a := &cfg.Anns[ai]
+			if e.origin.Links[a.Link].Provider != i {
+				continue
+			}
+			if row := s.ctx.poisoned[ai]; row != nil && row[i] && !e.ignorePoison[i] {
+				continue
+			}
+			cand := selection{
+				class:   classCustomer,
+				ann:     int16(ai),
+				pathLen: s.ctx.annLen[ai],
+				nextHop: -1,
+				pri:     -1, // direct customer routes beat equal-length alternatives
+			}
+			if e.betterFor(i, cand, best) {
+				second = best
+				best = cand
+			} else if e.betterFor(i, cand, second) {
+				second = cand
+			}
+		}
 	}
-	return out, nil
+	// Offers from neighbors, based on their current selections.
+	ns := e.g.Neighbors(i)
+	pri := e.pri[i]
+	pinned := e.pinned[i]
+	t1Filter := e.t1f[i]
+	for k, nb := range ns {
+		sn := sel[nb.Idx]
+		if sn.class == classInvalid {
+			continue
+		}
+		// Export filter at the sender: customer-learned (or direct
+		// origin) routes go to everyone; peer/provider-learned routes
+		// only to customers. A pinned selection exports according to
+		// the true relationship class of its next hop (cached in
+		// sendClass). nb.Rel is nb's relationship to i from i's view,
+		// so i is nb's customer exactly when nb.Rel is RelProvider.
+		if s.sendClass[nb.Idx] != classCustomer && nb.Rel != topo.RelProvider {
+			continue
+		}
+		cand, ok := e.offerFrom(sel, sn, nb, i, s, t1Filter)
+		if !ok {
+			continue
+		}
+		tc := cand.class
+		cand.pri = pri[k]
+		if pinned == nb.Idx {
+			cand.class = classPinned
+		}
+		if e.betterFor(i, cand, best) {
+			second = best
+			best = cand
+			bestTrue = tc
+		} else if e.betterFor(i, cand, second) {
+			second = cand
+		}
+	}
+	return best, second, bestTrue
 }
 
 // endPropagateSpan attaches the propagation's introspection counters to

@@ -10,6 +10,63 @@ type Outcome struct {
 	cfg       Config
 	sel       []selection
 	converged bool
+	// second[i] is the runner-up of AS i's last decision: the best offer
+	// that lost to sel[i] (noRoute when no alternative existed). It is an
+	// upper bound on every alternative offer at i, which is what lets
+	// PropagateDelta prune worsened-but-still-winning routes from the
+	// dirty frontier without re-deciding them.
+	second []selection
+	// sendCls[i] is the export class of sel[i] (trueClass, resolving
+	// pinned overrides), persisted so PropagateDelta can carry it with
+	// one copy instead of an O(n) recomputation. Entries are meaningful
+	// only where sel[i] is valid.
+	sendCls []int8
+}
+
+// outcomeArrays is the recyclable allocation unit behind an Outcome: the
+// three per-AS arrays are by far the dominant per-propagation allocation
+// (≈33 bytes per AS), so Outcome.Release lets high-throughput loops
+// recycle them through the engine's pool.
+type outcomeArrays struct {
+	sel     []selection
+	second  []selection
+	sendCls []int8
+}
+
+// newOutcome builds an Outcome whose arrays come from the engine's
+// release pool when one is available. Pooled arrays are NOT zeroed —
+// every propagation path overwrites them in full (Propagate's noRoute
+// init sweep, PropagateDelta's carry copy) before any read.
+func (e *Engine) newOutcome(cfg Config) Outcome {
+	out := Outcome{engine: e, cfg: cfg}
+	if a, ok := e.outArrs.Get().(*outcomeArrays); ok {
+		out.sel, out.second, out.sendCls = a.sel, a.second, a.sendCls
+		return out
+	}
+	n := e.g.NumASes()
+	out.sel = make([]selection, n)
+	out.second = make([]selection, n)
+	out.sendCls = make([]int8, n)
+	return out
+}
+
+// Release returns the Outcome's arrays to its engine for reuse by later
+// propagations. It is optional and purely a performance hint: campaign
+// loops that inspect each outcome and move on can cut the dominant
+// per-propagation allocations (and the GC churn behind them) to zero.
+//
+// The caller must be completely done with the Outcome: after Release it
+// must not be used again — not as a source of route queries, and not as
+// the prev of a PropagateDelta call. Outcomes held in an OutcomeCache
+// must not be released while cached. Releasing a zero or already
+// released Outcome is a no-op.
+func (o *Outcome) Release() {
+	if o.engine == nil || o.sel == nil {
+		return
+	}
+	o.engine.outArrs.Put(&outcomeArrays{sel: o.sel, second: o.second, sendCls: o.sendCls})
+	o.sel, o.second, o.sendCls = nil, nil, nil
+	o.converged = false
 }
 
 // Converged reports whether route processing reached a fixpoint. False

@@ -16,9 +16,13 @@ func BenchmarkPropagateFullScale(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Propagate(cfg); err != nil {
+		out, err := e.Propagate(cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		// Same outcome-recycling pattern as the delta benchmarks, so the
+		// full-vs-delta comparison isolates the algorithms.
+		out.Release()
 	}
 }
 

@@ -40,8 +40,18 @@ type propScratch struct {
 	// sendClass[i] caches trueClass(i, sel[i]) and is refreshed whenever
 	// sel[i] changes, turning the per-offer export-class computation into
 	// an array read. Entries are only consulted for ASes with a valid
-	// selection, which guarantees they were written this propagation.
+	// selection. The array is NOT pooled: each propagation aliases it to
+	// its Outcome's sendCls so the final classes persist with the outcome
+	// (PropagateDelta carries them with one copy), and putScratch drops
+	// the alias.
 	sendClass []int8
+
+	// deltaSeed marks extra seeds the delta propagator computes before its
+	// carry-over pass (poison-toggled ASes, announcement providers,
+	// improvement-frontier neighbors). The delta path clears every bit it
+	// sets before the scratch is released, so the array is always all-false
+	// in the pool.
+	deltaSeed []bool
 
 	// fresh marks a scratch that has never been through the pool: its
 	// epoch stamps start from zero (an "epoch reset" in trace terms).
@@ -86,8 +96,8 @@ func newPropScratch(n int) *propScratch {
 		visit:     make([]uint64, n),
 		chainTgt:  make([]bool, n),
 		chainT1:   make([]bool, n),
-		sendClass: make([]int8, n),
 		direct:    make([]bool, n),
+		deltaSeed: make([]bool, n),
 		fresh:     true,
 	}
 }
@@ -120,6 +130,49 @@ func (s *propScratch) drainQueue() {
 	for s.qlen > 0 {
 		s.queued[s.popQueue()] = false
 	}
+}
+
+// seedQueueByLen fills the (empty) ring with the collected seed indices
+// ordered by carried path length, shortest first, preserving ascending
+// index order within a length (stable bucket sort). Deciding upstream
+// ASes before the members that route through them lets most seeds settle
+// in a single decision event instead of being re-woken by a later
+// upstream change. The caller has already set queued[i] for every entry.
+func (s *propScratch) seedQueueByLen(sel []selection, list []int) {
+	var cnt [66]int
+	for _, i := range list {
+		cnt[lenBucket(sel[i].pathLen)]++
+	}
+	pos := 0
+	var off [66]int
+	for b := range cnt {
+		off[b] = pos
+		pos += cnt[b]
+	}
+	n := len(s.queue)
+	for _, i := range list {
+		b := lenBucket(sel[i].pathLen)
+		p := s.qhead + off[b]
+		off[b]++
+		if p >= n {
+			p -= n
+		}
+		s.queue[p] = int32(i)
+	}
+	s.qlen = len(list)
+}
+
+// lenBucket clamps a carried path length into the bucket range; the top
+// bucket also catches noRoute's sentinel length, ordering invalidated
+// ASes after every carried route.
+func lenBucket(l int32) int {
+	if l < 0 {
+		return 0
+	}
+	if l > 64 {
+		return 65
+	}
+	return int(l)
 }
 
 // poisonRow returns the k-th dense poison membership row, allocating it
@@ -206,6 +259,7 @@ func (e *Engine) putScratch(s *propScratch, cfg Config) {
 		s.ctx.poisoned[ai] = nil
 	}
 	s.ctx.comm = communityTables{}
+	s.sendClass = nil // outcome-owned; see the field comment
 	s.fresh = false
 	e.scratch.Put(s)
 }

@@ -50,6 +50,9 @@ type WorldParams struct {
 	// through the MRT/BGP-UPDATE wire codec (package mrt) and back, as
 	// real RouteViews/RIS consumption would.
 	WireFeeds bool
+	// OutcomeCacheCap bounds the platform's outcome cache (LRU past the
+	// bound): 0 = bgp.DefaultOutcomeCacheCapacity, negative = unbounded.
+	OutcomeCacheCap int
 }
 
 // DefaultWorldParams mirrors the paper's experimental scale: a topology
@@ -92,7 +95,11 @@ func BuildWorld(p WorldParams) (*World, error) {
 	if p.Engine != nil {
 		ep = *p.Engine
 	}
-	plat, err := peering.New(g, peering.Options{Muxes: p.Muxes, EngineParams: ep})
+	plat, err := peering.New(g, peering.Options{
+		Muxes:                p.Muxes,
+		EngineParams:         ep,
+		OutcomeCacheCapacity: p.OutcomeCacheCap,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: platform: %w", err)
 	}

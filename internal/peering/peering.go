@@ -128,6 +128,11 @@ type Options struct {
 	// never changes results — disable it only to bound memory or to
 	// benchmark raw propagation.
 	DisableOutcomeCache bool
+	// OutcomeCacheCapacity bounds the outcome cache (LRU eviction past
+	// the bound). 0 uses bgp.DefaultOutcomeCacheCapacity; negative means
+	// unbounded. At internet scale an Outcome is ~16 bytes per AS, so
+	// size this to the memory budget.
+	OutcomeCacheCapacity int
 }
 
 // New builds a platform over the topology, binding each mux to a transit
@@ -169,7 +174,14 @@ func New(g *topo.Graph, opts Options) (*Platform, error) {
 		convRNG:     stats.NewRNG(opts.EngineParams.Seed ^ 0xc09e4ce5ead),
 	}
 	if !opts.DisableOutcomeCache {
-		p.cache = bgp.NewOutcomeCache()
+		switch {
+		case opts.OutcomeCacheCapacity > 0:
+			p.cache = bgp.NewOutcomeCacheCap(opts.OutcomeCacheCapacity)
+		case opts.OutcomeCacheCapacity < 0:
+			p.cache = bgp.NewOutcomeCacheCap(0)
+		default:
+			p.cache = bgp.NewOutcomeCache()
+		}
 	}
 	p.health = NewLinkHealth(len(muxes), 0, 0)
 	return p, nil
@@ -429,7 +441,7 @@ func (p *Platform) CacheSize() int {
 }
 
 // InstrumentCache wires the outcome cache into a metrics registry as
-// bgp_outcome_cache_requests_total{result="hit"|"miss"} plus a
+// bgp_outcome_cache_requests_total{result="hit"|"miss"|"eviction"} plus a
 // bgp_outcome_cache_size gauge. No-op when the cache is disabled or reg
 // is nil. The watchdog's hit-rate SLO reads the labeled family.
 func (p *Platform) InstrumentCache(reg *metrics.Registry) {

@@ -63,6 +63,38 @@ func DefaultGenParams(seed uint64) GenParams {
 	}
 }
 
+// InternetGenParams returns generator parameters for internet-scale
+// topologies (intended tiers: 10k and 80k ASes; any numASes >= 1000
+// works). Compared to the paper-scale defaults the mix shifts toward
+// measured full-Internet structure: a slightly larger tier-1 clique,
+// a smaller transit fraction (CAIDA's AS relationship snapshots show
+// ~15% of ASes providing transit), fewer providers per transit AS, and
+// IXP meshes that scale with the transit population so peering density
+// per AS stays roughly flat rather than collapsing. At 80k ASes this is
+// the regime a real deployment routes against; generation stays
+// CI-fast because provider sampling is O(log n) per edge.
+func InternetGenParams(seed uint64, numASes int) GenParams {
+	p := GenParams{
+		Seed:                 seed,
+		NumASes:              numASes,
+		NumTier1:             16,
+		TransitFrac:          0.15,
+		MeanTransitProviders: 2.4,
+		StubMultihomeProb:    0.55,
+		StubTier1Prob:        0.02,
+		IXPSize:              40,
+		IXPPeerProb:          0.30,
+	}
+	// One IXP mesh per ~350 ASes keeps per-transit peering density in
+	// the measured range as the topology grows (~30 meshes at 10k, ~230
+	// at 80k).
+	p.NumIXPs = numASes / 350
+	if p.NumIXPs < 8 {
+		p.NumIXPs = 8
+	}
+	return p
+}
+
 // Generate builds a synthetic AS-level Internet according to the
 // parameters. The same parameters always produce the same graph.
 func Generate(p GenParams) (*Graph, error) {
@@ -97,15 +129,20 @@ func Generate(p GenParams) (*Graph, error) {
 		}
 	}
 
-	// custDegree tracks, per provider candidate, how many customers it
-	// already has; preferential attachment samples proportionally to
-	// custDegree+1 so early providers grow heavy tails.
-	custDegree := make(map[ASN]int)
+	// Preferential attachment samples providers proportionally to
+	// custDegree+1 so early providers grow heavy tails. Each pool keeps
+	// those weights in a Fenwick tree (weighted.go): picks cost O(log n)
+	// instead of a full pool scan, which is what makes 80k-AS generation
+	// finish in seconds, and the draw sequence matches the old linear
+	// scan exactly (TestGenerateGoldenChecksums pins this).
 
 	// Mid-tier transit ASes buy from tier-1s and previously created
 	// mid-tier ASes.
 	transit := make([]ASN, numTransit)
-	providerPool := append([]ASN(nil), tier1...)
+	providerPool := newWeightedPool(p.NumTier1 + numTransit)
+	for _, t1 := range tier1 {
+		providerPool.add(t1, 1)
+	}
 	for i := range transit {
 		asn := ASN(p.NumTier1 + i + 1)
 		transit[i] = asn
@@ -115,19 +152,30 @@ func Generate(p GenParams) (*Graph, error) {
 			nProv++
 		}
 		for k := 0; k < nProv; k++ {
-			prov := pickWeighted(rng, providerPool, custDegree, asn, b)
+			prov := providerPool.pick(rng, asn, b)
 			if prov == 0 {
 				break
 			}
 			if err := b.AddP2C(prov, asn); err != nil {
 				return nil, err
 			}
-			custDegree[prov]++
+			providerPool.bump(prov)
 		}
-		providerPool = append(providerPool, asn)
+		providerPool.add(asn, 1)
 	}
 
-	// Stubs buy from mid-tier ASes (occasionally tier-1s).
+	// Stubs buy from mid-tier ASes (occasionally tier-1s). Two pools in
+	// the same order the old scan visited (transit in creation order,
+	// tier-1s ascending), carrying the customer degrees accumulated so
+	// far; stub attachments keep feeding back into the weights.
+	transitPool := newWeightedPool(max(numTransit, 1))
+	for _, asn := range transit {
+		transitPool.add(asn, providerPool.weightOf(asn))
+	}
+	tier1Pool := newWeightedPool(p.NumTier1)
+	for _, asn := range tier1 {
+		tier1Pool.add(asn, providerPool.weightOf(asn))
+	}
 	for i := 0; i < numStub; i++ {
 		asn := ASN(p.NumTier1 + numTransit + i + 1)
 		nProv := 1
@@ -135,18 +183,18 @@ func Generate(p GenParams) (*Graph, error) {
 			nProv = 2
 		}
 		for k := 0; k < nProv; k++ {
-			pool := transit
+			pool := transitPool
 			if rng.Bool(p.StubTier1Prob) || len(transit) == 0 {
-				pool = tier1
+				pool = tier1Pool
 			}
-			prov := pickWeighted(rng, pool, custDegree, asn, b)
+			prov := pool.pick(rng, asn, b)
 			if prov == 0 {
 				break
 			}
 			if err := b.AddP2C(prov, asn); err != nil {
 				return nil, err
 			}
-			custDegree[prov]++
+			pool.bump(prov)
 		}
 	}
 
@@ -169,33 +217,6 @@ func Generate(p GenParams) (*Graph, error) {
 	}
 
 	return b.Freeze(), nil
-}
-
-// pickWeighted samples a provider from pool with probability proportional
-// to custDegree+1, skipping self and existing neighbors. Returns 0 if no
-// candidate is available.
-func pickWeighted(rng *stats.RNG, pool []ASN, custDegree map[ASN]int, self ASN, b *Builder) ASN {
-	total := 0
-	for _, asn := range pool {
-		if asn == self || b.HasLink(asn, self) {
-			continue
-		}
-		total += custDegree[asn] + 1
-	}
-	if total == 0 {
-		return 0
-	}
-	target := rng.Intn(total)
-	for _, asn := range pool {
-		if asn == self || b.HasLink(asn, self) {
-			continue
-		}
-		target -= custDegree[asn] + 1
-		if target < 0 {
-			return asn
-		}
-	}
-	return 0
 }
 
 // sampleASNs returns k distinct elements of pool (partial Fisher-Yates).

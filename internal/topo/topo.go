@@ -156,6 +156,20 @@ func (g *Graph) NumLinks() int {
 type Builder struct {
 	links map[ASN][]builderEdge
 	tier1 map[ASN]bool
+	// edges holds every link as an order-independent key so HasLink is
+	// O(1) instead of an adjacency-list scan — the generator's IXP phase
+	// and provider sampling probe high-degree ASes constantly.
+	edges map[edgeKey]bool
+}
+
+// edgeKey canonically identifies an undirected link.
+type edgeKey struct{ lo, hi ASN }
+
+func newEdgeKey(a, c ASN) edgeKey {
+	if a > c {
+		a, c = c, a
+	}
+	return edgeKey{a, c}
 }
 
 type builderEdge struct {
@@ -165,7 +179,11 @@ type builderEdge struct {
 
 // NewBuilder returns an empty topology builder.
 func NewBuilder() *Builder {
-	return &Builder{links: make(map[ASN][]builderEdge), tier1: make(map[ASN]bool)}
+	return &Builder{
+		links: make(map[ASN][]builderEdge),
+		tier1: make(map[ASN]bool),
+		edges: make(map[edgeKey]bool),
+	}
 }
 
 // AddAS ensures an AS exists even if it has no links yet.
@@ -204,17 +222,13 @@ func (b *Builder) add(from, to ASN, relOfTo Rel) error {
 	b.AddAS(to)
 	b.links[from] = append(b.links[from], builderEdge{to: to, rel: relOfTo})
 	b.links[to] = append(b.links[to], builderEdge{to: from, rel: relOfTo.Invert()})
+	b.edges[newEdgeKey(from, to)] = true
 	return nil
 }
 
 // HasLink reports whether a link between the two ASes exists.
 func (b *Builder) HasLink(a, c ASN) bool {
-	for _, e := range b.links[a] {
-		if e.to == c {
-			return true
-		}
-	}
-	return false
+	return b.edges[newEdgeKey(a, c)]
 }
 
 // NumASes returns the number of ASes added so far.

@@ -1,0 +1,124 @@
+package topo
+
+import (
+	"spooftrack/internal/stats"
+)
+
+// weightedPool samples provider candidates proportionally to their
+// weight (customer degree + 1) in O(log n) per draw using a Fenwick
+// (binary indexed) tree over pool positions. It replaces the linear
+// subtract-scan the generator used before — O(pool) per edge, O(n²)
+// total, fatal at 80k ASes — while reproducing its draw semantics
+// exactly: one rng.Intn(total) per successful pick over the weights of
+// eligible members in pool order, no draw when nothing is eligible.
+// Same seed, same graph.
+type weightedPool struct {
+	tree    []int // 1-based Fenwick array over pool positions
+	weights []int // current weight per 1-based position
+	asns    []ASN // 1-based position -> member ASN
+	pos     map[ASN]int
+	n       int // members
+	total   int // sum of weights
+	topBit  int // highest power of two <= capacity
+}
+
+// newWeightedPool returns an empty pool that can hold up to capacity
+// members.
+func newWeightedPool(capacity int) *weightedPool {
+	top := 1
+	for top*2 <= capacity {
+		top *= 2
+	}
+	return &weightedPool{
+		tree:    make([]int, capacity+1),
+		weights: make([]int, capacity+1),
+		asns:    make([]ASN, capacity+1),
+		pos:     make(map[ASN]int, capacity),
+		topBit:  top,
+	}
+}
+
+// add appends a member at the next pool position. Pool order is
+// selection order: the pick semantics scan positions ascending.
+func (w *weightedPool) add(asn ASN, weight int) {
+	w.n++
+	p := w.n
+	w.asns[p] = asn
+	w.pos[asn] = p
+	w.setWeight(p, weight)
+}
+
+// bump adds one to a member's weight (a new customer attached). ASNs
+// not in the pool are ignored.
+func (w *weightedPool) bump(asn ASN) {
+	if p, ok := w.pos[asn]; ok {
+		w.setWeight(p, w.weights[p]+1)
+	}
+}
+
+// weightOf returns the member's current weight (0 if absent).
+func (w *weightedPool) weightOf(asn ASN) int {
+	if p, ok := w.pos[asn]; ok {
+		return w.weights[p]
+	}
+	return 0
+}
+
+// setWeight assigns the weight at position p, updating the tree and the
+// running total.
+func (w *weightedPool) setWeight(p, weight int) {
+	delta := weight - w.weights[p]
+	if delta == 0 {
+		return
+	}
+	w.weights[p] = weight
+	w.total += delta
+	for i := p; i < len(w.tree); i += i & (-i) {
+		w.tree[i] += delta
+	}
+}
+
+// find returns the 1-based position of the first member whose cumulative
+// weight exceeds target (the Fenwick equivalent of the linear
+// subtract-until-negative scan). target must be in [0, total).
+func (w *weightedPool) find(target int) int {
+	p := 0
+	rem := target
+	for bit := w.topBit; bit > 0; bit >>= 1 {
+		next := p + bit
+		if next < len(w.tree) && w.tree[next] <= rem {
+			p = next
+			rem -= w.tree[next]
+		}
+	}
+	return p + 1
+}
+
+// pick draws a member with probability proportional to its weight,
+// excluding self and existing neighbors of self. It returns 0 without
+// consuming randomness when no eligible member exists — exactly the
+// contract of the linear pickWeighted it replaces. Exclusions are
+// handled by temporarily zeroing their weights (a provider pick has at
+// most a handful: the providers self already bought from).
+func (w *weightedPool) pick(rng *stats.RNG, self ASN, b *Builder) ASN {
+	type saved struct{ pos, weight int }
+	var excl []saved
+	zero := func(asn ASN) {
+		if p, ok := w.pos[asn]; ok && w.weights[p] != 0 {
+			excl = append(excl, saved{p, w.weights[p]})
+			w.setWeight(p, 0)
+		}
+	}
+	zero(self)
+	for _, e := range b.links[self] {
+		zero(e.to)
+	}
+	asn := ASN(0)
+	if w.total > 0 {
+		asn = w.asns[w.find(rng.Intn(w.total))]
+	}
+	for _, s := range excl {
+		w.setWeight(s.pos, s.weight)
+	}
+	return asn
+}

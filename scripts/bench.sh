@@ -1,8 +1,9 @@
 #!/bin/sh
 # Benchmark-regression harness: runs the propagation-engine
 # micro-benchmarks (optimized engine, reference implementation,
-# poison-heavy, parallel, and traced on/off variants — the latter pair
-# guards the tracing-disabled overhead budget), the probe-scan
+# poison-heavy, parallel, traced on/off variants — the latter pair
+# guards the tracing-disabled overhead budget — and the delta-propagation
+# benchmarks with their 1/5-of-full regression budget), the probe-scan
 # benchmarks (pinning that a concurrent SAV scan loop does not perturb
 # propagation beyond a 3x budget), and the figure benchmarks, then
 # records every result — ns/op, B/op, allocs/op, and the figures' custom
@@ -31,6 +32,26 @@ trap 'rm -f "$TMP" "$PROBE_TMP"' EXIT
 echo "==> engine micro-benchmarks (-benchtime $ENGINE_BENCHTIME)"
 go test ./internal/bgp/ -run '^$' -bench 'Propagate' -benchmem \
 	-benchtime "$ENGINE_BENCHTIME" | tee "$TMP"
+# Delta-propagation budget: a one-link campaign step recomputed
+# incrementally must stay at or under 1/5 of a full recomputation at the
+# 4k tier (the design target is 10x; the CI budget leaves headroom for
+# runner scheduling noise).
+awk '
+/^BenchmarkPropagateDeltaSingleLink/ { delta = $3 }
+/^BenchmarkPropagateFullScale/ { full = $3 }
+END {
+	if (delta + 0 == 0 || full + 0 == 0) {
+		print "bench: missing delta-propagation results"; exit 1
+	}
+	printf "bench: delta one-link step = %.1fx faster than full recomputation\n", full / delta
+	if (delta * 5 > full) {
+		print "bench: delta one-link step exceeds 1/5 of full propagation"; exit 1
+	}
+}' "$TMP"
+
+echo "==> topology-generation benchmarks (internet-scale tiers)"
+go test ./internal/topo/ -run '^$' -bench 'Generate' -benchmem \
+	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
 
 echo "==> metrics hot-path benchmarks (labeled vector vs plain counter)"
 go test ./internal/metrics/ -run '^$' -bench 'PlainCounter|VecObserve' -benchmem \

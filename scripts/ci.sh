@@ -25,7 +25,10 @@ go test ./internal/core/ -run 'Chaos' -count=1
 echo "==> probe chaos smoke (probe-storm must degrade to low confidence, never wrong)"
 go test ./internal/probe/ -run 'ProbeStorm' -count=1
 
-echo "==> bench smoke (PropagateFullScale, 1 iteration)"
-go test ./internal/bgp/ -run '^$' -bench 'PropagateFullScale' -benchmem -benchtime 1x
+echo "==> delta-propagation equivalence smoke (full-vs-incremental, race detector on)"
+go test -race ./internal/bgp/ -run 'TestPropagateDeltaMatchesFull|TestOutcomeReleaseRecycling' -count=1
+
+echo "==> bench smoke (PropagateFullScale + PropagateDeltaSingleLink, 1 iteration)"
+go test ./internal/bgp/ -run '^$' -bench 'PropagateFullScale|PropagateDeltaSingleLink' -benchmem -benchtime 1x
 
 echo "ci: all checks passed"
