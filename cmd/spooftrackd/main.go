@@ -18,6 +18,12 @@
 //	              default, Prometheus text format via Accept: text/plain or
 //	              ?format=prometheus
 //	/evidence     operator-facing localization evidence for the candidates
+//	/explain      decision-provenance: verdict list (JSON), full ledger
+//	              timeline (?format=ledger) or DOT provenance graph
+//	              (?format=dot); /explain/{cluster} renders the complete
+//	              evidence chain behind one cluster of the final verdict,
+//	              with an embedded deterministic-replay check
+//	              (404 with -ledger=false)
 //	/trace        span journal (?format=chrome for chrome://tracing, json for raw)
 //	/debug/pprof/ standard Go profiling endpoints
 //	/debug/bundle latest SLO-breach diagnostic bundle (404 until one fires)
@@ -50,6 +56,9 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,7 +69,9 @@ import (
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/peering"
 	"spooftrack/internal/probe"
+	"spooftrack/internal/provenance"
 	"spooftrack/internal/sched"
+	"spooftrack/internal/spoof"
 	"spooftrack/internal/stream"
 	"spooftrack/internal/trace"
 	"spooftrack/internal/watch"
@@ -101,6 +112,7 @@ func main() {
 		probeCovSLO   = flag.Float64("slo-probe-coverage", 0.05, "probe-coverage SLO floor (0..1)")
 		probeLossSLO  = flag.Float64("slo-probe-loss", 0.9, "probe loss-rate SLO ceiling (0..1)")
 		cacheCap      = flag.Int("outcome-cache-cap", 0, "outcome cache capacity in entries (0 = default, negative = unbounded)")
+		ledgerOn      = flag.Bool("ledger", true, "record the decision-provenance ledger (serve /explain)")
 	)
 	flag.Parse()
 
@@ -142,6 +154,16 @@ func main() {
 	retry := spooftrack.DefaultRetryPolicy()
 	retry.MaxAttempts = *deployRetries
 	params.Retry = retry
+	// Decision-provenance ledger: built before the tracker so the
+	// offline campaign's deploys, retries, and degradations are on the
+	// record from the first event. A nil ledger keeps every Record* site
+	// a no-op (-ledger=false).
+	var led *spooftrack.ProvenanceLedger
+	if *ledgerOn {
+		led = spooftrack.NewProvenanceLedger()
+		led.Instrument(reg)
+	}
+	params.Ledger = led
 	if *faultProfile != "" {
 		slog.Info("fault injection enabled", "profile", *faultProfile, "seed", *faultSeed,
 			"retries", *deployRetries)
@@ -193,6 +215,13 @@ func main() {
 	defer border.Close()
 	border.SetMetrics(reg)
 
+	// Re-measurement hints: the probe scan loop publishes the source
+	// positions where the probe channel's measured ingress conflicts
+	// with the campaign catchment, and the stream controller spends
+	// spare reconfiguration budget re-measuring the configuration that
+	// covers the most of them.
+	var remeasureHints atomic.Pointer[[]int]
+
 	// Streaming attribution pipeline, closed onto the border: deploying
 	// a configuration means swapping the live catchment table.
 	pipe, err := stream.New(stream.Attribution{
@@ -213,6 +242,13 @@ func main() {
 		Blocked: func() []bool {
 			return sched.QuarantineMask(tracker.Plan, platform.Health().IsQuarantined)
 		},
+		Remeasure: func() []int {
+			if p := remeasureHints.Load(); p != nil {
+				return *p
+			}
+			return nil
+		},
+		Ledger: led,
 		Deploy: func(cfgIdx int, table map[uint32]uint8) {
 			border.SetCatchments(table)
 			slog.Info("deploy", "config", cfgIdx, "routed_sources", len(table))
@@ -348,11 +384,11 @@ func main() {
 	dog.Start()
 	defer dog.Stop()
 
-	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health(), pv)}
+	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health(), pv, led)}
 	httpErr := make(chan error, 1)
 	go func() {
 		slog.Info("http listening", "addr", *listen,
-			"endpoints", "/status /faults /probe /metrics /evidence /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
+			"endpoints", "/status /faults /probe /metrics /evidence /explain /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
 		httpErr <- srv.ListenAndServe()
 	}()
 	slog.Info("packet plane up: point spoofed traffic at the border",
@@ -380,17 +416,56 @@ func main() {
 	}
 
 	// Probe scan loop: one budget-bounded round per interval, rotating
-	// fairly through the target fleet.
+	// fairly through the target fleet. After each round the loop promotes
+	// newly confident verdicts into the provenance ledger and publishes
+	// the probe-vs-catchment conflict set as re-measurement hints for the
+	// stream controller.
 	if pv != nil {
+		srcOf := make(map[int]int, camp.NumSources())
+		for k, as := range camp.Sources {
+			srcOf[as] = k
+		}
 		go func() {
 			t := time.NewTicker(*probeInterval)
 			defer t.Stop()
+			lastSignal := make(map[int]spoof.SAVSignal)
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-t.C:
 					rep := pv.prober.Round(nil)
+					pv.prober.Inference(func(inf *probe.SAVInference) {
+						pc := probe.BuildChannel(inf, 0)
+						if led.Enabled() {
+							for as, sig := range pc.Signal {
+								if sig == spoof.SAVNoData || lastSignal[as] == sig {
+									continue
+								}
+								lastSignal[as] = sig
+								src, ok := srcOf[as]
+								if !ok {
+									src = -1
+								}
+								led.RecordProbe(provenance.ProbeEvent{
+									AS:         as,
+									Source:     src,
+									Link:       int(pc.Link[as]),
+									Signal:     sig.String(),
+									Confidence: inf.Report(as).OutConfidence,
+									Round:      int(rep.Round),
+								})
+							}
+						}
+						audit := probe.Audit(pc, pv.catchment)
+						hints := make([]int, 0, len(audit.ConflictASes))
+						for _, as := range audit.ConflictASes {
+							if src, ok := srcOf[as]; ok {
+								hints = append(hints, src)
+							}
+						}
+						remeasureHints.Store(&hints)
+					})
 					slog.Debug("probe round",
 						"round", rep.Round, "visited", rep.Visited, "skipped", rep.Skipped,
 						"sent", rep.Sent, "lost", rep.Lost, "answered", rep.Answered,
@@ -512,8 +587,9 @@ type probeStatus struct {
 // fault-injection state, and the standard pprof endpoints. dog may be
 // nil (no watchdog: /readyz degrades to a pipeline-started check, /slo
 // and /debug/bundle report 404); inj and health may be nil (no injector
-// / no platform); pv may be nil (probing off: /probe reports 404).
-func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth, pv *probeView) *http.ServeMux {
+// / no platform); pv may be nil (probing off: /probe reports 404); led
+// may be nil (provenance off: /explain reports 404).
+func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth, pv *probeView, led *provenance.Ledger) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, pipe.Status(10))
@@ -557,6 +633,47 @@ func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog 
 			return
 		}
 		writeJSON(w, rep)
+	})
+	// Decision provenance. /explain lists the recorded verdicts (or, with
+	// ?format=ledger / ?format=dot, exports the full timeline or the
+	// provenance graph); /explain/{cluster} renders the complete evidence
+	// chain behind one cluster of the final verdict, with an embedded
+	// replay check proving the chain reproduces it.
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		if !led.Enabled() {
+			http.Error(w, "no provenance ledger (-ledger=false)", http.StatusNotFound)
+			return
+		}
+		e := led.Export()
+		switch format := r.URL.Query().Get("format"); format {
+		case "":
+			writeJSON(w, map[string]any{"events": len(e.Events), "verdicts": e.Verdicts()})
+		case "ledger", "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = e.WriteJSON(w)
+		case "dot":
+			w.Header().Set("Content-Type", "text/vnd.graphviz")
+			_ = e.WriteDOT(w)
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want ledger, json, or dot)", format), http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/explain/", func(w http.ResponseWriter, r *http.Request) {
+		if !led.Enabled() {
+			http.Error(w, "no provenance ledger (-ledger=false)", http.StatusNotFound)
+			return
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/explain/"))
+		if err != nil {
+			http.Error(w, "cluster id must be an integer: /explain/{cluster}", http.StatusBadRequest)
+			return
+		}
+		ex, err := led.Export().Explain(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ex)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		switch format := r.URL.Query().Get("format"); format {

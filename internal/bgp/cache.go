@@ -28,23 +28,33 @@ const DefaultOutcomeCacheCapacity = 1024
 // configuration is propagated exactly once per engine.
 //
 // The cache is bounded: beyond its capacity the least-recently-used
-// outcome is evicted (hits refresh recency). It also remembers the most
-// recently resolved outcome and hands it to Engine.PropagateDelta on a
-// miss, so consumers that replay near-identical configurations — the
-// campaign runner, the scheduler's predictor, the stream controller's
-// greedy loop — ride the incremental path without code changes;
-// PropagateDelta transparently falls back to a full run whenever the
-// previous outcome cannot help.
+// outcome is evicted (hits refresh recency). It also keeps a small
+// window of recently resolved outcomes and hands the closest one
+// (fewest dirty announcements by DiffConfigs) to Engine.PropagateDelta
+// on a miss, so consumers that replay near-identical configurations —
+// the campaign runner, the scheduler's predictor, the greedy volume
+// scoring loop, which interleaves candidate families rather than
+// stepping through adjacent configs — ride the incremental path without
+// code changes; PropagateDelta transparently falls back to a full run
+// whenever the seed outcome cannot help.
 type OutcomeCache struct {
-	mu     sync.Mutex
-	m      map[string]*cacheEntry
-	cap    int
-	head   *cacheEntry // most recently used
-	tail   *cacheEntry // least recently used
-	last   *Outcome    // most recently resolved outcome, delta seed
-	hits   uint64
-	misses uint64
-	evicts uint64
+	mu   sync.Mutex
+	m    map[string]*cacheEntry
+	cap  int
+	head *cacheEntry // most recently used
+	tail *cacheEntry // least recently used
+	// recent is the delta-seed window: the most recently resolved
+	// outcomes, newest first. A miss seeds PropagateDelta from the
+	// window entry whose configuration is nearest the requested one
+	// (minimum ConfigDiff.NumDirty), not merely the last resolved — the
+	// difference between a full recomputation and a one-link delta when
+	// a scoring loop alternates between configuration families.
+	recent    []*Outcome
+	hits      uint64
+	misses    uint64
+	evicts    uint64
+	deltaInc  uint64 // misses resolved on the incremental delta path
+	deltaFull uint64 // misses that fell back to full propagation
 	// hitC/missC/evictC, when set via Instrument, are bumped alongside
 	// the internal counters so a registry sees the events as one labeled
 	// family instead of scraped gauges.
@@ -62,14 +72,25 @@ type cacheEntry struct {
 // CacheStats is a point-in-time view of a cache's effectiveness:
 // cumulative hit, miss, and eviction counts plus the current number of
 // memoized outcomes and the configured capacity (0 = unbounded).
+// DeltaIncremental / DeltaFull split the misses by how they resolved:
+// seeded through the incremental delta path versus recomputed in full.
 // Exposed through the metrics registry by cmd/spooftrackd.
 type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Size      int
-	Capacity  int
+	Hits             uint64
+	Misses           uint64
+	Evictions        uint64
+	DeltaIncremental uint64
+	DeltaFull        uint64
+	Size             int
+	Capacity         int
 }
+
+// DefaultDeltaSeedWindow is how many recently resolved outcomes the
+// cache keeps as candidate delta seeds. Small by design: each seed
+// pins an Outcome (~16 B/AS) in memory, and the scoring loops the
+// window exists for interleave only a handful of configuration
+// families at a time.
+const DefaultDeltaSeedWindow = 4
 
 // NewOutcomeCache returns an empty cache bounded at
 // DefaultOutcomeCacheCapacity entries.
@@ -119,6 +140,46 @@ func (c *OutcomeCache) touch(e *cacheEntry) {
 	}
 }
 
+// noteResolved pushes an outcome to the front of the delta-seed window
+// (move-to-front on re-resolution, truncated to the window size).
+// Caller holds mu.
+func (c *OutcomeCache) noteResolved(out *Outcome) {
+	for i, r := range c.recent {
+		if r == out {
+			copy(c.recent[1:i+1], c.recent[:i])
+			c.recent[0] = out
+			return
+		}
+	}
+	if len(c.recent) < DefaultDeltaSeedWindow {
+		c.recent = append(c.recent, nil)
+	}
+	copy(c.recent[1:], c.recent)
+	c.recent[0] = out
+}
+
+// pickSeed returns the window outcome whose configuration is nearest
+// cfg by announcement-level diff (minimum NumDirty; ties toward the
+// most recent), or nil when the window is empty. Caller holds mu. The
+// scan is cheap — the window holds at most DefaultDeltaSeedWindow
+// outcomes and DiffConfigs is linear in a configuration's handful of
+// announcements — while the payoff on a hit is the difference between
+// an O(dirty-catchment) delta and a full propagation.
+func (c *OutcomeCache) pickSeed(cfg Config) *Outcome {
+	var best *Outcome
+	bestDirty := 0
+	for _, r := range c.recent {
+		d := DiffConfigs(r.Config(), cfg)
+		if best == nil || d.NumDirty < bestDirty {
+			best, bestDirty = r, d.NumDirty
+			if bestDirty == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
 // evictOver drops LRU entries until the size fits the capacity. Caller
 // holds mu. Evicted outcomes stay valid for callers still holding them
 // (outcomes are immutable); only the memoization is dropped.
@@ -165,27 +226,31 @@ func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span
 			c.hitC.Inc()
 		}
 		c.touch(ent)
-		c.last = ent.out
+		c.noteResolved(ent.out)
 		size := len(c.m)
 		c.mu.Unlock()
 		c.endSpan(sp, 1, 0, size)
 		return ent.out, nil
 	}
-	// Seed the miss with the most recent outcome: campaign sweeps and
-	// greedy reconfiguration visit near-identical configs back to back,
-	// which is exactly the delta fast path. Any converged previous
-	// outcome yields the same (byte-identical) result, so racing misses
-	// picking different seeds is harmless.
-	last := c.last
+	// Seed the miss with the nearest outcome in the recent window:
+	// campaign sweeps visit near-identical configs back to back, and
+	// scoring loops interleave a few configuration families — either
+	// way some window entry is usually one announcement away, which is
+	// exactly the delta fast path. Any converged previous outcome
+	// yields the same (byte-identical) result, so racing misses picking
+	// different seeds is harmless.
+	seed := c.pickSeed(cfg)
 	c.mu.Unlock()
 	var (
-		out Outcome
-		err error
+		out  Outcome
+		info DeltaInfo
+		err  error
 	)
-	if last != nil {
-		out, _, err = e.PropagateDeltaTraced(last, last.Config(), cfg, sp)
+	if seed != nil {
+		out, info, err = e.PropagateDeltaTraced(seed, seed.Config(), cfg, sp)
 	} else {
 		out, err = e.PropagateTraced(cfg, sp)
+		info.Mode = DeltaFullNoPrev
 	}
 	if err != nil {
 		sp.End()
@@ -198,7 +263,7 @@ func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span
 			c.hitC.Inc()
 		}
 		c.touch(prior)
-		c.last = prior.out
+		c.noteResolved(prior.out)
 		size := len(c.m)
 		c.mu.Unlock()
 		c.endSpan(sp, 1, 0, size)
@@ -207,6 +272,11 @@ func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span
 	c.misses++
 	if c.missC != nil {
 		c.missC.Inc()
+	}
+	if info.Mode.Incremental() {
+		c.deltaInc++
+	} else {
+		c.deltaFull++
 	}
 	ent := &cacheEntry{key: key, out: &out}
 	c.m[key] = ent
@@ -218,7 +288,7 @@ func (c *OutcomeCache) PropagateTraced(e *Engine, cfg Config, parent *trace.Span
 	if c.tail == nil {
 		c.tail = ent
 	}
-	c.last = ent.out
+	c.noteResolved(ent.out)
 	c.evictOver()
 	size := len(c.m)
 	c.mu.Unlock()
@@ -268,7 +338,15 @@ func (c *OutcomeCache) Stats() (hits, misses uint64) {
 func (c *OutcomeCache) StatsSnapshot() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evicts, Size: len(c.m), Capacity: c.cap}
+	return CacheStats{
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Evictions:        c.evicts,
+		DeltaIncremental: c.deltaInc,
+		DeltaFull:        c.deltaFull,
+		Size:             len(c.m),
+		Capacity:         c.cap,
+	}
 }
 
 // Len returns the number of cached outcomes.

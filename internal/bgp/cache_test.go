@@ -149,3 +149,110 @@ func TestOutcomeCacheDeltaSeeding(t *testing.T) {
 		}
 	}
 }
+
+// TestOutcomeCacheSeedWindow is the white-box contract of the delta-
+// seed window: recently resolved outcomes accumulate newest-first,
+// re-resolution moves to front instead of duplicating, and the window
+// never outgrows DefaultDeltaSeedWindow.
+func TestOutcomeCacheSeedWindow(t *testing.T) {
+	g, o := worldForTest(t, 17, 600)
+	e := newEngine(t, g, o, noiseless())
+	cache := NewOutcomeCache()
+	cfgs := distinctConfigs(DefaultDeltaSeedWindow + 2)
+	var outs []*Outcome
+	for _, cfg := range cfgs {
+		out, err := cache.Propagate(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	cache.mu.Lock()
+	recent := append([]*Outcome(nil), cache.recent...)
+	cache.mu.Unlock()
+	if len(recent) != DefaultDeltaSeedWindow {
+		t.Fatalf("window holds %d outcomes, want %d", len(recent), DefaultDeltaSeedWindow)
+	}
+	for i := 0; i < DefaultDeltaSeedWindow; i++ {
+		if want := outs[len(outs)-1-i]; recent[i] != want {
+			t.Fatalf("window[%d] is not the %d-th most recent outcome", i, i)
+		}
+	}
+	// A hit on an older resident moves it to the front without growing
+	// the window.
+	if _, err := cache.Propagate(e, cfgs[2]); err != nil {
+		t.Fatal(err)
+	}
+	cache.mu.Lock()
+	front, size := cache.recent[0], len(cache.recent)
+	cache.mu.Unlock()
+	if front != outs[2] || size != DefaultDeltaSeedWindow {
+		t.Fatalf("re-resolution did not move-to-front dedupe (front=%p want=%p size=%d)", front, outs[2], size)
+	}
+}
+
+// TestOutcomeCachePickSeedNearest checks the window seed choice is by
+// announcement diff, not recency: when a scoring loop interleaves two
+// configuration families, a miss near family A must seed from A even
+// if family B resolved more recently.
+func TestOutcomeCachePickSeedNearest(t *testing.T) {
+	g, o := worldForTest(t, 19, 600)
+	e := newEngine(t, g, o, noiseless())
+	cache := NewOutcomeCache()
+	famA := Config{Anns: []Announcement{{Link: 0, Prepend: 1}}}
+	famB := Config{Anns: []Announcement{{Link: 1, Prepend: 3}, {Link: 2, Prepend: 4}, {Link: 3, Prepend: 5}}}
+	outA, err := cache.Propagate(e, famA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Propagate(e, famB); err != nil {
+		t.Fatal(err)
+	}
+	// One announcement away from famA, far from the more recent famB.
+	cfg := Config{Anns: []Announcement{{Link: 0, Prepend: 2}}}
+	cache.mu.Lock()
+	seed := cache.pickSeed(cfg)
+	cache.mu.Unlock()
+	if seed != outA {
+		t.Fatalf("pickSeed chose %q, want famA %q", seed.Config().Key(), famA.Key())
+	}
+}
+
+// TestOutcomeCacheDeltaModeStats checks the miss split: the first miss
+// has no seed (full, DeltaFullNoPrev) and subsequent near-identical
+// misses ride the incremental path, with DeltaIncremental + DeltaFull
+// always equal to Misses.
+func TestOutcomeCacheDeltaModeStats(t *testing.T) {
+	g, o := worldForTest(t, 42, 1500)
+	e := newEngine(t, g, o, DefaultParams(42))
+	cache := NewOutcomeCache()
+	base := allLinksConfig(7)
+	// Single-field edits of a full-anycast base keep the affected
+	// frontier small, so the second and later misses seed from the
+	// window and ride the incremental path.
+	configs := []Config{base}
+	for i := 2; i <= 5; i++ {
+		mut := cloneConfig(base)
+		mut.Anns[3].Prepend = i
+		configs = append(configs, mut)
+	}
+	for _, cfg := range configs {
+		if _, err := cache.Propagate(e, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.StatsSnapshot()
+	if st.Misses != 5 {
+		t.Fatalf("misses = %d, want 5", st.Misses)
+	}
+	if st.DeltaIncremental+st.DeltaFull != st.Misses {
+		t.Fatalf("delta split %d+%d does not account for %d misses",
+			st.DeltaIncremental, st.DeltaFull, st.Misses)
+	}
+	if st.DeltaFull == 0 {
+		t.Fatal("first miss had no seed and must count as a full propagation")
+	}
+	if st.DeltaIncremental == 0 {
+		t.Fatal("single-field prepend edits must ride the incremental path")
+	}
+}

@@ -114,6 +114,69 @@ func (p *Partition) RefinedCopy(labels []bgp.LinkID) *Partition {
 	return cp
 }
 
+// Assignments returns a copy of the per-source cluster assignment —
+// assign[k] is source k's dense cluster id. This is the canonical
+// verdict representation the provenance ledger records and replays.
+func (p *Partition) Assignments() []int32 {
+	return append([]int32(nil), p.assign...)
+}
+
+// WeightedMeanSizeAfter returns the volume-weighted mean cluster size
+// that refining by the labels would produce, without modifying the
+// partition and without materializing the refined copy. It equals
+//
+//	refined := p.RefinedCopy(labels)
+//	sum_k volume[k] * size(refined cluster of k) / sum_k volume[k]
+//
+// but runs the refinement once through the same flat (old cluster,
+// label) table Refine uses, accumulating per-refined-cluster volume and
+// size in a single pass — the incremental scoring path of the greedy
+// volume scheduler, which previously cloned the partition per candidate
+// configuration.
+func (p *Partition) WeightedMeanSizeAfter(labels []bgp.LinkID, volume []float64) float64 {
+	if len(labels) != len(p.assign) {
+		panic(fmt.Sprintf("cluster: %d labels for %d sources", len(labels), len(p.assign)))
+	}
+	if len(p.assign) == 0 {
+		return 0
+	}
+	width := int(maxLabel(labels)) + 2
+	table := make([]int32, p.num*width)
+	for i := range table {
+		table[i] = -1
+	}
+	// Pass 1: assign dense refined ids (first-occurrence order, exactly
+	// as Refine) and accumulate per-refined-cluster size and volume.
+	sizes := make([]int32, 0, p.num)
+	vols := make([]float64, 0, p.num)
+	next := int32(0)
+	for k := range p.assign {
+		key := int(p.assign[k])*width + labelSlot(labels[k])
+		id := table[key]
+		if id == -1 {
+			id = next
+			next++
+			table[key] = id
+			sizes = append(sizes, 0)
+			vols = append(vols, 0)
+		}
+		sizes[id]++
+		if k < len(volume) {
+			vols[id] += volume[k]
+		}
+	}
+	// Pass 2: fold sizes into the volume-weighted mean.
+	total, acc := 0.0, 0.0
+	for id := int32(0); id < next; id++ {
+		total += vols[id]
+		acc += vols[id] * float64(sizes[id])
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / total
+}
+
 // NumClustersAfter returns the number of clusters that refining by the
 // labels would produce, without modifying the partition. This is the
 // inner loop of greedy scheduling, so it avoids allocation beyond one

@@ -13,6 +13,7 @@ import (
 	"spooftrack/internal/cluster"
 	"spooftrack/internal/measure"
 	"spooftrack/internal/metrics"
+	"spooftrack/internal/provenance"
 	"spooftrack/internal/sched"
 	"spooftrack/internal/stats"
 	"spooftrack/internal/trace"
@@ -66,6 +67,12 @@ type CampaignOptions struct {
 	// visibility on successful measurements). fault.Injector implements
 	// both. Nil costs the hot path nothing.
 	MeasureFault MeasureFaultHook
+	// Ledger, if non-nil, records campaign provenance: every deployment
+	// (with attempt counts), retry, permanent degradation, the final
+	// catchment rows, and the campaign verdict. A nil ledger is
+	// provenance-off and costs the hot path one nil check per event
+	// site.
+	Ledger *provenance.Ledger
 }
 
 // Campaign is the result of deploying a plan: per-configuration routing
@@ -95,6 +102,9 @@ type Campaign struct {
 	Incomplete []int
 	// Elapsed is the simulated experiment duration.
 	Elapsed time.Duration
+
+	finalOnce sync.Once
+	finalPart *cluster.Partition
 }
 
 // IsIncomplete reports whether configuration cfgIdx was permanently
@@ -153,6 +163,7 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		incompleteC = opts.Metrics.Counter("core_campaign_incomplete_configs_total")
 	}
 	retry := opts.Retry
+	led := opts.Ledger
 
 	// Per-config RNGs split in plan order up front, so downstream results
 	// do not depend on execution parallelism.
@@ -196,11 +207,13 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 		// so every retryable error here is an injected deployment fault.
 		var out *bgp.Outcome
 		var err error
+		attempts := 0
 		for attempt := 0; ; attempt++ {
 			if err = ctx.Err(); err != nil {
 				break
 			}
 			out, err = w.Platform.PropagateAttempt(plan[i].Config, attempt, opts.NoOutcomeCache, dsp)
+			attempts = attempt + 1
 			if err == nil || attempt+1 >= retry.attempts() {
 				if dsp != nil {
 					dsp.Count("attempts", int64(attempt+1))
@@ -210,10 +223,19 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 			if retryC != nil {
 				retryC.With("deploy").Inc()
 			}
+			led.RecordRetry(provenance.RetryEvent{Config: i, Phase: "deploy", Attempt: attempt, Error: err.Error()})
 			if serr := sleepCtx(ctx, retry.Backoff(i, attempt)); serr != nil {
 				err = serr
 				break
 			}
+		}
+		if err == nil && led.Enabled() {
+			led.RecordDeploy(provenance.DeployEvent{
+				Config:   i,
+				Key:      plan[i].Config.Key(),
+				Attempts: attempts,
+				Phase:    plan[i].Phase.String(),
+			})
 		}
 		c.Outcomes[i] = out
 		perrs[i] = err
@@ -233,6 +255,7 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 				if incompleteC != nil {
 					incompleteC.Inc()
 				}
+				led.RecordDegrade(provenance.DegradeEvent{Config: i, Phase: "deploy", Error: err.Error()})
 				continue
 			}
 			if i == 0 && retry.DegradeOnExhaust {
@@ -289,6 +312,7 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 						if retryC != nil {
 							retryC.With("measure").Inc()
 						}
+						led.RecordRetry(provenance.RetryEvent{Config: i, Phase: "measure", Attempt: attempt, Error: err.Error()})
 						if serr := sleepCtx(ctx, retry.Backoff(i, attempt)); serr != nil {
 							err = serr
 						} else {
@@ -308,6 +332,7 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 				// Capture window permanently lost: keep an all-unknown
 				// measurement so imputation and clustering degrade instead of
 				// aborting.
+				led.RecordDegrade(provenance.DegradeEvent{Config: i, Phase: "measure", Error: err.Error()})
 				m, err, lost[i] = measure.Unobserved(w.Graph.NumASes()), nil, true
 			}
 			if m != nil && masker != nil {
@@ -379,13 +404,45 @@ func (w *World) RunCampaign(plan []sched.PlannedConfig, opts CampaignOptions) (*
 			}
 			c.Catchments[cc] = row
 		}
+		c.recordProvenance(led, true)
 		return c, nil
 	}
 
 	c.Imputed = measure.Impute(c.Measurements)
 	c.Sources = c.Imputed.Sources
 	c.Catchments = c.Imputed.Catchments
+	c.recordProvenance(led, false)
 	return c, nil
+}
+
+// recordProvenance closes the campaign's provenance chain: dimensions,
+// the final per-configuration catchment rows (the evidence leaves
+// clustering consumed), and the campaign verdict — the final partition
+// in canonical assignment form, which provenance.Replay re-derives
+// purely from the recorded rows.
+func (c *Campaign) recordProvenance(led *provenance.Ledger, useTruth bool) {
+	if !led.Enabled() {
+		return
+	}
+	led.RecordMeta(provenance.MetaEvent{
+		Component:  "campaign",
+		NumSources: len(c.Sources),
+		NumConfigs: len(c.Plan),
+		NumLinks:   c.World.Graph.NumLinks(),
+		UseTruth:   useTruth,
+	})
+	for i, row := range c.Catchments {
+		// Shared, not copied: the catchment matrix is immutable once the
+		// campaign returns, and copying every row would dominate the
+		// ledger's cost (scripts/bench.sh gates it at 5%).
+		led.RecordRowShared(provenance.RowEvent{Config: i, Catchment: row, Incomplete: c.IsIncomplete(i)})
+	}
+	p := c.FinalPartition()
+	led.RecordVerdict(provenance.VerdictEvent{
+		Origin:   "campaign",
+		Assign:   p.Assignments(),
+		Clusters: p.NumClusters(),
+	})
 }
 
 // runPool executes fn(0..n-1) across a bounded pool of workers and waits
@@ -450,9 +507,15 @@ func (c *Campaign) PartitionAfter(n int) *cluster.Partition {
 	return p
 }
 
-// FinalPartition returns the partition after the whole campaign.
+// FinalPartition returns the partition after the whole campaign. The
+// result is computed once and shared across calls (the provenance
+// verdict and every downstream consumer need the same refinement):
+// treat it as read-only and Clone before refining it further.
 func (c *Campaign) FinalPartition() *cluster.Partition {
-	return c.PartitionAfter(len(c.Catchments))
+	c.finalOnce.Do(func() {
+		c.finalPart = c.PartitionAfter(len(c.Catchments))
+	})
+	return c.finalPart
 }
 
 // MetricsTrajectory returns partition metrics after each configuration,

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"spooftrack/internal/provenance"
+)
+
+// benchCampaignLedger times a full UseTruth campaign — including the
+// final-partition verdict every consumer derives — with or without a
+// provenance ledger attached. The two benchmarks share the same world
+// parameters and plan so the only difference is the ledger's event
+// recording; scripts/bench.sh gates ledger-on at ≤5% over ledger-off.
+func benchCampaignLedger(b *testing.B, withLedger bool) {
+	w := smallWorld(b, 3)
+	plan, err := w.DefaultPlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var led *provenance.Ledger
+		if withLedger {
+			led = provenance.New(provenance.Options{})
+		}
+		// NoOutcomeCache: every iteration pays the real propagation cost
+		// (a warm cache would shrink the denominator to cache lookups and
+		// make the fixed ledger cost look relatively huge).
+		c, err := w.RunCampaign(plan, CampaignOptions{UseTruth: true, NoOutcomeCache: true, Ledger: led})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.FinalPartition().NumClusters() == 0 {
+			b.Fatal("empty final partition")
+		}
+	}
+}
+
+func BenchmarkCampaignLedgerOff(b *testing.B) { benchCampaignLedger(b, false) }
+
+func BenchmarkCampaignLedgerOn(b *testing.B) { benchCampaignLedger(b, true) }

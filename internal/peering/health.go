@@ -60,6 +60,11 @@ type LinkHealth struct {
 	links     []linkState
 
 	transitions [3]*metrics.Counter // indexed by BreakerState, nil until Instrument
+
+	// onTransition, if set, observes every breaker state change (the
+	// provenance ledger's quarantine hook). Called with h.mu held — it
+	// must be fast and must not call back into LinkHealth.
+	onTransition func(link bgp.LinkID, from, to BreakerState)
 }
 
 // DefaultBreakerThreshold trips a link's breaker after this many
@@ -86,13 +91,28 @@ func NewLinkHealth(numLinks, threshold int, cooldown int64) *LinkHealth {
 	}
 }
 
-func (h *LinkHealth) transition(st *linkState, to BreakerState) {
+// SetTransitionHook registers fn to observe every breaker state change
+// (link, previous state, new state) — the decision-provenance ledger's
+// quarantine evidence channel. fn runs with the health lock held and
+// must not call back into LinkHealth. Call before reports start; a nil
+// fn clears the hook.
+func (h *LinkHealth) SetTransitionHook(fn func(link bgp.LinkID, from, to BreakerState)) {
+	h.mu.Lock()
+	h.onTransition = fn
+	h.mu.Unlock()
+}
+
+func (h *LinkHealth) transition(link bgp.LinkID, st *linkState, to BreakerState) {
+	from := st.state
 	st.state = to
 	if to == BreakerOpen {
 		st.openedAt = h.tick
 	}
 	if c := h.transitions[to]; c != nil {
 		c.Inc()
+	}
+	if h.onTransition != nil {
+		h.onTransition(link, from, to)
 	}
 }
 
@@ -103,7 +123,7 @@ func (h *LinkHealth) advanceLocked() {
 	for i := range h.links {
 		st := &h.links[i]
 		if st.state == BreakerOpen && h.tick-st.openedAt >= h.cooldown {
-			h.transition(st, BreakerHalfOpen)
+			h.transition(bgp.LinkID(i), st, BreakerHalfOpen)
 		}
 	}
 }
@@ -124,10 +144,10 @@ func (h *LinkHealth) ReportFailure(l bgp.LinkID) {
 	switch st.state {
 	case BreakerClosed:
 		if st.consecFails >= h.threshold {
-			h.transition(st, BreakerOpen)
+			h.transition(l, st, BreakerOpen)
 		}
 	case BreakerHalfOpen:
-		h.transition(st, BreakerOpen)
+		h.transition(l, st, BreakerOpen)
 	}
 }
 
@@ -144,7 +164,7 @@ func (h *LinkHealth) ReportSuccess(l bgp.LinkID) {
 	st.successes++
 	st.consecFails = 0
 	if st.state == BreakerHalfOpen {
-		h.transition(st, BreakerClosed)
+		h.transition(l, st, BreakerClosed)
 	}
 }
 

@@ -1,0 +1,208 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+
+	"spooftrack/internal/bgp"
+)
+
+// This file is the operator-facing view of an exported ledger: the
+// /explain endpoint's payloads. Verdicts lists what can be explained;
+// Explain assembles, for one cluster of the final verdict, the complete
+// evidence chain that produced it — every configuration that ran (with
+// its deploy attempts, retries, degradations, and catchment row), every
+// stream round and reconfiguration decision, the probe verdicts and
+// breaker quarantines in effect, and an embedded replay check proving
+// the chain actually reproduces the verdict.
+
+// VerdictSummary is one explainable verdict in an export.
+type VerdictSummary struct {
+	Seq       uint64 `json:"seq"`
+	Origin    string `json:"origin"`
+	Round     int    `json:"round,omitempty"`
+	Clusters  int    `json:"clusters"`
+	Converged bool   `json:"converged,omitempty"`
+	// Final marks the verdict Explain renders (the last one recorded).
+	Final bool `json:"final,omitempty"`
+}
+
+// Verdicts summarizes every verdict event in the export, in sequence
+// order. The last entry is the final verdict Explain renders.
+func (e *Export) Verdicts() []VerdictSummary {
+	var out []VerdictSummary
+	for _, ev := range e.Events {
+		if ev.Kind != KindVerdict || ev.Verdict == nil {
+			continue
+		}
+		v := ev.Verdict
+		out = append(out, VerdictSummary{
+			Seq:       ev.Seq,
+			Origin:    v.Origin,
+			Round:     v.Round,
+			Clusters:  v.Clusters,
+			Converged: v.Converged,
+		})
+	}
+	if len(out) > 0 {
+		out[len(out)-1].Final = true
+	}
+	return out
+}
+
+// ConfigChain is one configuration's complete contribution to a
+// verdict: how it got deployed (or failed to), and the catchment row it
+// yielded. Every configuration that appears anywhere in the ledger —
+// deployed, retried, degraded, or measured — gets a chain entry, so the
+// explanation's leaves account for the entire campaign.
+type ConfigChain struct {
+	Config int `json:"config"`
+	// Key is the canonical announcement key (empty when no deploy event
+	// recorded one, e.g. stream-side rows).
+	Key string `json:"key,omitempty"`
+	// Deployed is true when a deploy event confirmed the configuration;
+	// Attempts and Phase come from that event.
+	Deployed bool   `json:"deployed"`
+	Attempts int    `json:"attempts,omitempty"`
+	Phase    string `json:"phase,omitempty"`
+	// Retries and Degraded are the fault-substrate events charged to the
+	// configuration, in sequence order.
+	Retries  []RetryEvent   `json:"retries,omitempty"`
+	Degraded []DegradeEvent `json:"degraded,omitempty"`
+	// Row is the configuration's final catchment row (nil when the
+	// configuration never yielded one).
+	Row *RowEvent `json:"row,omitempty"`
+	// Rounds lists the stream rounds folded under this configuration.
+	Rounds []int `json:"rounds,omitempty"`
+	// MemberLinks[i] is cluster member i's ingress link under this row
+	// (parallel to Explanation.Members; omitted without a row).
+	MemberLinks []bgp.LinkID `json:"member_links,omitempty"`
+}
+
+// ReplayCheck is the embedded replay verification: whether re-running
+// classification and localization purely from the ledger reproduced the
+// live verdict byte for byte.
+type ReplayCheck struct {
+	Reproduced bool     `json:"reproduced"`
+	Verdicts   int      `json:"verdicts"`
+	Mismatches []string `json:"mismatches,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// Explanation is the full evidence chain behind one cluster of the
+// final verdict — the /explain/{cluster} payload.
+type Explanation struct {
+	Cluster int `json:"cluster"`
+	// Members are the source positions assigned to the cluster.
+	Members []int `json:"members"`
+	// Verdict is the final verdict the cluster belongs to.
+	Verdict *VerdictEvent `json:"verdict"`
+	// Meta carries the run dimensions (stream preferred over campaign).
+	Meta *MetaEvent `json:"meta,omitempty"`
+	// Configs is the per-configuration evidence chain, ascending by
+	// configuration index. Every configuration the ledger saw is listed.
+	Configs []ConfigChain `json:"configs"`
+	// Rounds and Reconfigs are the stream decisions, in order.
+	Rounds    []RoundEvent    `json:"rounds,omitempty"`
+	Reconfigs []ReconfigEvent `json:"reconfigs,omitempty"`
+	// Probes are the promoted probe-channel verdicts, every scan round
+	// that contributed one; MemberProbes indexes those targeting a
+	// cluster member.
+	Probes       []ProbeEvent `json:"probes,omitempty"`
+	MemberProbes []int        `json:"member_probes,omitempty"`
+	// Quarantines are the link breaker transitions active during the run.
+	Quarantines []QuarantineEvent `json:"quarantines,omitempty"`
+	// Replay is the embedded determinism check over the same export.
+	Replay ReplayCheck `json:"replay"`
+}
+
+// Explain assembles the evidence chain for one cluster id of the final
+// verdict. It errors when the export has no verdict or the cluster id
+// is out of range.
+func (e *Export) Explain(clusterID int) (*Explanation, error) {
+	final := e.finalVerdict()
+	if final == nil {
+		return nil, fmt.Errorf("provenance: export has no verdict to explain")
+	}
+	if clusterID < 0 || clusterID >= final.Clusters {
+		return nil, fmt.Errorf("provenance: cluster %d out of range (verdict has %d clusters)", clusterID, final.Clusters)
+	}
+	ex := &Explanation{Cluster: clusterID, Verdict: final, Meta: e.meta()}
+	for k, c := range final.Assign {
+		if int(c) == clusterID {
+			ex.Members = append(ex.Members, k)
+		}
+	}
+
+	chains := map[int]*ConfigChain{}
+	chain := func(cfg int) *ConfigChain {
+		ch := chains[cfg]
+		if ch == nil {
+			ch = &ConfigChain{Config: cfg}
+			chains[cfg] = ch
+		}
+		return ch
+	}
+	member := make(map[int]bool, len(ex.Members))
+	for _, k := range ex.Members {
+		member[k] = true
+	}
+	for _, ev := range e.Events {
+		switch ev.Kind {
+		case KindDeploy:
+			ch := chain(ev.Deploy.Config)
+			ch.Deployed = true
+			ch.Attempts = ev.Deploy.Attempts
+			ch.Key = orDefault(ev.Deploy.Key, ch.Key)
+			ch.Phase = orDefault(ev.Deploy.Phase, ch.Phase)
+		case KindRetry:
+			ch := chain(ev.Retry.Config)
+			ch.Retries = append(ch.Retries, *ev.Retry)
+		case KindDegrade:
+			ch := chain(ev.Degrade.Config)
+			ch.Degraded = append(ch.Degraded, *ev.Degrade)
+		case KindRow:
+			// Latest row wins, matching rowsByConfig and Replay.
+			row := *ev.Row
+			chain(row.Config).Row = &row
+		case KindRound:
+			ch := chain(ev.Round.Config)
+			ch.Rounds = append(ch.Rounds, ev.Round.Round)
+			ex.Rounds = append(ex.Rounds, *ev.Round)
+		case KindReconfig:
+			ex.Reconfigs = append(ex.Reconfigs, *ev.Reconfig)
+		case KindProbe:
+			ex.Probes = append(ex.Probes, *ev.Probe)
+			if member[ev.Probe.Source] {
+				ex.MemberProbes = append(ex.MemberProbes, len(ex.Probes)-1)
+			}
+		case KindQuarantine:
+			ex.Quarantines = append(ex.Quarantines, *ev.Quarantine)
+		}
+	}
+	ex.Configs = make([]ConfigChain, 0, len(chains))
+	for _, ch := range chains {
+		if ch.Row != nil {
+			ch.MemberLinks = make([]bgp.LinkID, len(ex.Members))
+			for i, k := range ex.Members {
+				ch.MemberLinks[i] = bgp.NoLink
+				if k < len(ch.Row.Catchment) {
+					ch.MemberLinks[i] = ch.Row.Catchment[k]
+				}
+			}
+		}
+		ex.Configs = append(ex.Configs, *ch)
+	}
+	sort.Slice(ex.Configs, func(i, j int) bool { return ex.Configs[i].Config < ex.Configs[j].Config })
+
+	if res, err := Replay(e); err != nil {
+		ex.Replay = ReplayCheck{Error: err.Error()}
+	} else {
+		ex.Replay = ReplayCheck{
+			Reproduced: res.Reproduced,
+			Verdicts:   res.Verdicts,
+			Mismatches: res.Mismatches,
+		}
+	}
+	return ex, nil
+}

@@ -1,0 +1,358 @@
+package provenance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/cluster"
+	"spooftrack/internal/sched"
+	"spooftrack/internal/spoof"
+)
+
+// ReplayResult is the outcome of re-running localization from a ledger.
+type ReplayResult struct {
+	// Rounds / Reconfigs / Verdicts count the events re-executed.
+	Rounds    int `json:"rounds"`
+	Reconfigs int `json:"reconfigs"`
+	Verdicts  int `json:"verdicts"`
+	// Degraded counts degradation events present in the chain (under
+	// chaos profiles these must appear for the replay to be honest
+	// about what the live run actually saw).
+	Degraded int `json:"degraded"`
+	// Final is the last verdict as recomputed by the replay.
+	Final *VerdictEvent `json:"final,omitempty"`
+	// Reproduced is true when every recorded verdict and decision was
+	// reproduced byte-for-byte.
+	Reproduced bool `json:"reproduced"`
+	// Mismatches describes every divergence found (empty when
+	// Reproduced).
+	Mismatches []string `json:"mismatches,omitempty"`
+}
+
+// replayState is the per-component (campaign or stream) decision state
+// reconstructed from the ledger.
+type replayState struct {
+	meta       *MetaEvent
+	rows       [][]bgp.LinkID
+	part       *cluster.Partition
+	loc        *spoof.IncrementalLocalizer
+	used       []bool
+	current    int
+	candidates []int
+	// Fold-time snapshot consumed by the reconfig/verdict that follow
+	// the round event.
+	estVol    []float64
+	topSize   int
+	canSplit  bool
+	lastRound int
+}
+
+// Replay re-runs classification and localization purely from the
+// recorded ledger — the same refinement, localizer, volume-ranking,
+// and greedy scheduling code the live pipeline ran, driven only by
+// recorded catchment rows and round volumes — and asserts that every
+// recorded verdict and reconfiguration decision is reproduced
+// byte-for-byte. It never consults live state, so a ledger exported
+// from one process replays identically anywhere.
+func Replay(e *Export) (*ReplayResult, error) {
+	if e == nil || len(e.Events) == 0 {
+		return nil, fmt.Errorf("provenance: replay of empty ledger")
+	}
+	res := &ReplayResult{}
+	states := map[string]*replayState{}
+	rows := e.rowsByConfig()
+
+	state := func(component string) *replayState {
+		if st := states[component]; st != nil {
+			return st
+		}
+		return nil
+	}
+
+	for i := range e.Events {
+		ev := &e.Events[i]
+		switch {
+		case ev.Meta != nil:
+			m := ev.Meta
+			st := &replayState{
+				meta:    m,
+				part:    cluster.New(m.NumSources),
+				loc:     spoof.NewIncrementalLocalizer(m.NumSources),
+				used:    make([]bool, m.NumConfigs),
+				current: m.InitialConfig,
+				topSize: -1,
+			}
+			if m.InitialConfig >= 0 && m.InitialConfig < len(st.used) {
+				st.used[m.InitialConfig] = true
+			}
+			st.rows = rowTable(rows, m.NumConfigs, m.NumSources)
+			states[m.Component] = st
+
+		case ev.Degrade != nil:
+			res.Degraded++
+
+		case ev.Round != nil:
+			st := state("stream")
+			if st == nil {
+				return nil, fmt.Errorf("provenance: round event %d before stream meta", ev.Seq)
+			}
+			res.Rounds++
+			r := ev.Round
+			if r.Config != st.current {
+				res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+					"round %d folded config %d, replay expected %d", r.Round, r.Config, st.current))
+			}
+			// Rebuild the rows table late if the round references a row
+			// recorded after the meta event (stream re-measurement).
+			row := st.rowFor(r.Config, rows)
+			st.loc.AddRound(row, r.Volumes)
+			st.part.Refine(row)
+			st.candidates = st.loc.Candidates(st.meta.MaxMisses)
+			st.lastRound = r.Round
+			if got := st.part.NumClusters(); got != r.Clusters {
+				res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+					"round %d: %d clusters recorded, replay got %d", r.Round, r.Clusters, got))
+			}
+			if got := len(st.candidates); got != r.Candidates {
+				res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+					"round %d: %d candidates recorded, replay got %d", r.Round, r.Candidates, got))
+			}
+			// Fold-time decision inputs, exactly as the controller
+			// computed them (before any reconfiguration marks a
+			// configuration used).
+			st.estVol = estimateVolumes(row, st.candidates, r.Volumes)
+			topID, topSize := topVolumeCluster(st.part, st.candidates, st.estVol)
+			st.topSize = topSize
+			st.canSplit = false
+			if topSize > st.meta.SplitThreshold {
+				st.canSplit = splittable(st.rows, st.used, st.part.MembersOf(topID))
+			}
+
+		case ev.Reconfig != nil:
+			st := state("stream")
+			if st == nil {
+				return nil, fmt.Errorf("provenance: reconfig event %d before stream meta", ev.Seq)
+			}
+			res.Reconfigs++
+			rc := ev.Reconfig
+			blocked := blockedMask(rc.Blocked, len(st.used))
+			var next int
+			switch rc.Reason {
+			case "remeasure":
+				next = sched.NextRemeasure(st.rows, rc.Hints, st.used, blocked)
+			default:
+				var scores []sched.ConfigScore
+				next, scores = sched.NextGreedyVolumeScored(st.part, st.rows, st.estVol, st.used, blocked)
+				if rc.Beaten != nil {
+					if diff := diffScores(rc.Beaten, scores); diff != "" {
+						res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+							"reconfig after round %d: candidate scores diverge: %s", rc.Round, diff))
+					}
+				}
+			}
+			if next != rc.Chosen {
+				res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+					"reconfig after round %d (%s): chose %d, replay chose %d", rc.Round, rc.Reason, rc.Chosen, next))
+			}
+			if rc.Chosen >= 0 && rc.Chosen < len(st.used) {
+				st.used[rc.Chosen] = true
+				st.current = rc.Chosen
+			}
+
+		case ev.Verdict != nil:
+			res.Verdicts++
+			v := ev.Verdict
+			var recomputed *VerdictEvent
+			switch v.Origin {
+			case "campaign":
+				st := state("campaign")
+				if st == nil {
+					return nil, fmt.Errorf("provenance: campaign verdict %d before campaign meta", ev.Seq)
+				}
+				recomputed = campaignVerdict(st, rows)
+			default:
+				st := state("stream")
+				if st == nil {
+					return nil, fmt.Errorf("provenance: stream verdict %d before stream meta", ev.Seq)
+				}
+				recomputed = &VerdictEvent{
+					Origin:     "stream",
+					Round:      st.lastRound,
+					Candidates: st.candidates,
+					Assign:     st.part.Assignments(),
+					Clusters:   st.part.NumClusters(),
+					Converged:  st.topSize >= 0 && !st.canSplit,
+				}
+			}
+			if diff := diffVerdicts(v, recomputed); diff != "" {
+				res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+					"verdict (%s, round %d): %s", v.Origin, v.Round, diff))
+			}
+			res.Final = recomputed
+		}
+	}
+
+	res.Reproduced = len(res.Mismatches) == 0
+	return res, nil
+}
+
+// rowFor returns the catchment row for a configuration, preferring the
+// table built at meta time and falling back to the global row map.
+func (st *replayState) rowFor(cfg int, rows map[int][]bgp.LinkID) []bgp.LinkID {
+	if cfg >= 0 && cfg < len(st.rows) && st.rows[cfg] != nil {
+		return st.rows[cfg]
+	}
+	if r, ok := rows[cfg]; ok {
+		return r
+	}
+	return make([]bgp.LinkID, st.meta.NumSources)
+}
+
+// rowTable materializes the dense per-configuration catchment table.
+// Configurations without a recorded row replay as all-unobserved.
+func rowTable(rows map[int][]bgp.LinkID, numConfigs, numSources int) [][]bgp.LinkID {
+	table := make([][]bgp.LinkID, numConfigs)
+	for c := range table {
+		if r, ok := rows[c]; ok && len(r) == numSources {
+			table[c] = r
+			continue
+		}
+		blank := make([]bgp.LinkID, numSources)
+		for k := range blank {
+			blank[k] = bgp.NoLink
+		}
+		table[c] = blank
+	}
+	return table
+}
+
+// estimateVolumes mirrors stream.estimateVolumesLocked: each candidate
+// whose catchment under the folded configuration is link l receives an
+// equal share of volumes[l].
+func estimateVolumes(row []bgp.LinkID, candidates []int, volumes []float64) []float64 {
+	onLink := make([]int, len(volumes))
+	for _, k := range candidates {
+		if l := row[k]; l != bgp.NoLink && int(l) < len(onLink) {
+			onLink[l]++
+		}
+	}
+	est := make([]float64, len(row))
+	for _, k := range candidates {
+		if l := row[k]; l != bgp.NoLink && int(l) < len(volumes) && onLink[l] > 0 {
+			est[k] = volumes[l] / float64(onLink[l])
+		}
+	}
+	return est
+}
+
+// topVolumeCluster mirrors stream.topVolumeClusterLocked: the candidate
+// cluster carrying the most estimated volume (ties toward the lowest
+// cluster id), or (-1, -1) when no candidate carries volume.
+func topVolumeCluster(p *cluster.Partition, candidates []int, estVol []float64) (clusterID, size int) {
+	volByCluster := make(map[int]float64)
+	for _, k := range candidates {
+		if estVol[k] > 0 {
+			volByCluster[p.ClusterOf(k)] += estVol[k]
+		}
+	}
+	best, bestVol := -1, 0.0
+	for c, v := range volByCluster {
+		if best == -1 || v > bestVol || (v == bestVol && c < best) {
+			best, bestVol = c, v
+		}
+	}
+	if best == -1 {
+		return -1, -1
+	}
+	return best, len(p.MembersOf(best))
+}
+
+// splittable mirrors stream.splittableLocked: does any unused
+// configuration map the cluster members to more than one ingress link?
+func splittable(rows [][]bgp.LinkID, used []bool, members []int) bool {
+	if len(members) < 2 {
+		return false
+	}
+	for cfg, row := range rows {
+		if used[cfg] {
+			continue
+		}
+		first := row[members[0]]
+		for _, k := range members[1:] {
+			if row[k] != first {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// campaignVerdict refines a fresh partition over the campaign's rows in
+// configuration order — exactly Campaign.FinalPartition.
+func campaignVerdict(st *replayState, rows map[int][]bgp.LinkID) *VerdictEvent {
+	p := cluster.New(st.meta.NumSources)
+	cfgs := make([]int, 0, len(rows))
+	for c := range rows {
+		cfgs = append(cfgs, c)
+	}
+	sort.Ints(cfgs)
+	for _, c := range cfgs {
+		if row := rows[c]; len(row) == st.meta.NumSources {
+			p.Refine(row)
+		}
+	}
+	return &VerdictEvent{
+		Origin:   "campaign",
+		Assign:   p.Assignments(),
+		Clusters: p.NumClusters(),
+	}
+}
+
+// blockedMask expands a recorded blocked-configuration list to a mask.
+func blockedMask(blocked []int, n int) []bool {
+	if len(blocked) == 0 {
+		return nil
+	}
+	mask := make([]bool, n)
+	for _, c := range blocked {
+		if c >= 0 && c < n {
+			mask[c] = true
+		}
+	}
+	return mask
+}
+
+// diffVerdicts compares two verdicts byte-for-byte via their canonical
+// JSON encodings and describes the first divergence.
+func diffVerdicts(recorded, recomputed *VerdictEvent) string {
+	a, err := json.Marshal(recorded)
+	if err != nil {
+		return fmt.Sprintf("marshal recorded: %v", err)
+	}
+	b, err := json.Marshal(recomputed)
+	if err != nil {
+		return fmt.Sprintf("marshal recomputed: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Sprintf("recorded %s != replayed %s", a, b)
+	}
+	return ""
+}
+
+// diffScores compares a recorded candidate-score set against the
+// replayed one.
+func diffScores(recorded []CandidateScore, replayed []sched.ConfigScore) string {
+	if len(recorded) != len(replayed) {
+		return fmt.Sprintf("%d candidates recorded, %d replayed", len(recorded), len(replayed))
+	}
+	for i := range recorded {
+		if recorded[i].Config != replayed[i].Config || recorded[i].Score != replayed[i].Score {
+			return fmt.Sprintf("candidate %d: recorded {%d %g}, replayed {%d %g}",
+				i, recorded[i].Config, recorded[i].Score, replayed[i].Config, replayed[i].Score)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"testing"
+
+	"spooftrack/internal/bgp"
+	"spooftrack/internal/cluster"
+)
+
+func TestNextGreedyVolumeScoredMatchesMasked(t *testing.T) {
+	p := cluster.New(4)
+	vol := []float64{4, 1, 1, 2}
+	used := make([]bool, 3)
+	want := NextGreedyVolumeMasked(p, maskCatchments, vol, used, nil)
+	got, scores := NextGreedyVolumeScored(p, maskCatchments, vol, used, nil)
+	if got != want {
+		t.Fatalf("scored winner %d != masked winner %d", got, want)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores cover %d configs, want all 3: %+v", len(scores), scores)
+	}
+	for i, s := range scores {
+		if s.Config != i {
+			t.Fatalf("scores not in ascending config order: %+v", scores)
+		}
+		if want := p.WeightedMeanSizeAfter(maskCatchments[i], vol); s.Score != want {
+			t.Fatalf("config %d score %v, want %v", i, s.Score, want)
+		}
+		if s.Score < scores[got].Score {
+			t.Fatalf("winner %d (score %v) beaten by config %d (score %v)", got, scores[got].Score, i, s.Score)
+		}
+	}
+
+	// Used and blocked configurations drop out of the candidate set.
+	got2, scores2 := NextGreedyVolumeScored(p, maskCatchments, vol, []bool{false, true, false}, []bool{true, false, false})
+	if got2 != 2 || len(scores2) != 1 || scores2[0].Config != 2 {
+		t.Fatalf("filtered: winner %d scores %+v, want only config 2", got2, scores2)
+	}
+	// Nothing eligible → -1 and no scores.
+	got3, scores3 := NextGreedyVolumeScored(p, maskCatchments, vol, []bool{true, true, true}, nil)
+	if got3 != -1 || len(scores3) != 0 {
+		t.Fatalf("exhausted: winner %d scores %+v", got3, scores3)
+	}
+}
+
+func TestNextRemeasure(t *testing.T) {
+	no := bgp.NoLink
+	catchments := [][]bgp.LinkID{
+		{0, no, no, no}, // sees hint 0 only
+		{0, 1, no, no},  // sees hints 0 and 1 on two links
+		{0, 0, no, no},  // sees hints 0 and 1 on one link
+		{no, no, 2, 2},  // sees no hinted source
+	}
+	used := make([]bool, 4)
+	hints := []int{0, 1}
+
+	// Config 1 and 2 both see two hinted sources; 1 wins the distinct-
+	// link tie-break.
+	if got := NextRemeasure(catchments, hints, used, nil); got != 1 {
+		t.Fatalf("NextRemeasure = %d, want 1", got)
+	}
+	// With 1 used, 2 wins (same coverage, fewer links, lower index than
+	// nothing).
+	if got := NextRemeasure(catchments, hints, []bool{false, true, false, false}, nil); got != 2 {
+		t.Fatalf("used-filtered NextRemeasure = %d, want 2", got)
+	}
+	// Blocked works the same way.
+	if got := NextRemeasure(catchments, hints, used, []bool{false, true, false, false}); got != 2 {
+		t.Fatalf("blocked-filtered NextRemeasure = %d, want 2", got)
+	}
+	// Equal coverage and equal link spread: lowest index wins.
+	if got := NextRemeasure(catchments, []int{0}, used, nil); got != 0 {
+		t.Fatalf("tie: NextRemeasure = %d, want 0", got)
+	}
+	// No hints, or no configuration observing any hint, skips the round.
+	if got := NextRemeasure(catchments, nil, used, nil); got != -1 {
+		t.Fatalf("no hints: NextRemeasure = %d, want -1", got)
+	}
+	if got := NextRemeasure(catchments, []int{2}, []bool{false, false, false, true}, nil); got != -1 {
+		t.Fatalf("unobservable hint: NextRemeasure = %d, want -1", got)
+	}
+	// Out-of-range hints are ignored, not a panic.
+	if got := NextRemeasure(catchments, []int{-1, 99, 0}, used, nil); got != 0 {
+		t.Fatalf("out-of-range hints: NextRemeasure = %d, want 0", got)
+	}
+}

@@ -220,7 +220,10 @@ func NextGreedyVolume(p *cluster.Partition, catchments [][]bgp.LinkID, volume []
 
 // NextGreedyVolumeMasked is NextGreedyVolume with a quarantine mask:
 // blocked configurations are skipped as if used. A nil mask is
-// NextGreedyVolume.
+// NextGreedyVolume. Candidate scoring rides the incremental path
+// (cluster.WeightedMeanSizeAfter): each candidate is scored through one
+// flat-table pass instead of cloning and refining the partition per
+// configuration.
 func NextGreedyVolumeMasked(p *cluster.Partition, catchments [][]bgp.LinkID, volume []float64, used, blocked []bool) int {
 	best := -1
 	bestScore := 0.0
@@ -228,9 +231,77 @@ func NextGreedyVolumeMasked(p *cluster.Partition, catchments [][]bgp.LinkID, vol
 		if used[c] || (blocked != nil && blocked[c]) {
 			continue
 		}
-		score := volumeWeightedMeanSize(p.RefinedCopy(catchments[c]), volume)
+		score := p.WeightedMeanSizeAfter(catchments[c], volume)
 		if best == -1 || score < bestScore {
 			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// ConfigScore is one configuration's score in a greedy decision (lower
+// is better for volume-weighted mean cluster size).
+type ConfigScore struct {
+	Config int     `json:"config"`
+	Score  float64 `json:"score"`
+}
+
+// NextGreedyVolumeScored is NextGreedyVolumeMasked returning, alongside
+// the winner, the score of every eligible candidate in ascending
+// configuration order — the candidate set the chosen configuration
+// beat, which the provenance ledger records so a replay can re-derive
+// the decision. The winner is identical to NextGreedyVolumeMasked's.
+func NextGreedyVolumeScored(p *cluster.Partition, catchments [][]bgp.LinkID, volume []float64, used, blocked []bool) (int, []ConfigScore) {
+	best := -1
+	bestScore := 0.0
+	var scores []ConfigScore
+	for c := range catchments {
+		if used[c] || (blocked != nil && blocked[c]) {
+			continue
+		}
+		score := p.WeightedMeanSizeAfter(catchments[c], volume)
+		scores = append(scores, ConfigScore{Config: c, Score: score})
+		if best == -1 || score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best, scores
+}
+
+// NextRemeasure picks the configuration to deploy for probe-conflict
+// re-measurement: among unused, unblocked configurations, the one that
+// re-observes the most hinted sources (catchment known, not
+// bgp.NoLink). Ties break toward the configuration spreading the
+// hinted sources across more distinct ingress links (more refinement
+// potential per round), then toward the lowest index for determinism.
+// It returns -1 when no configuration observes any hinted source —
+// callers skip re-measurement that round. hints are source positions,
+// typically probe.Audit's conflict set mapped through the campaign
+// source list.
+func NextRemeasure(catchments [][]bgp.LinkID, hints []int, used, blocked []bool) int {
+	if len(hints) == 0 {
+		return -1
+	}
+	best, bestSeen, bestLinks := -1, 0, 0
+	for c := range catchments {
+		if used[c] || (blocked != nil && blocked[c]) {
+			continue
+		}
+		row := catchments[c]
+		seen := 0
+		links := map[bgp.LinkID]bool{}
+		for _, k := range hints {
+			if k < 0 || k >= len(row) || row[k] == bgp.NoLink {
+				continue
+			}
+			seen++
+			links[row[k]] = true
+		}
+		if seen == 0 {
+			continue
+		}
+		if seen > bestSeen || (seen == bestSeen && len(links) > bestLinks) {
+			best, bestSeen, bestLinks = c, seen, len(links)
 		}
 	}
 	return best

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"spooftrack/internal/bgp"
+	"spooftrack/internal/provenance"
 	"spooftrack/internal/sched"
 	"spooftrack/internal/trace"
 )
@@ -39,13 +40,18 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	t0 := time.Now()
 	p.mEvals.Inc()
 
-	// Quarantine mask, refreshed every evaluation (outside p.mu — the
-	// callback may take the platform's health lock): blocked
-	// configurations become eligible again the moment their links leave
-	// quarantine.
+	// Quarantine mask and re-measurement hints, refreshed every
+	// evaluation (outside p.mu — the callbacks may take other locks):
+	// blocked configurations become eligible again the moment their
+	// links leave quarantine; hints are probe-conflict sources worth
+	// re-observing when no split is pending.
 	var blocked []bool
 	if p.cfg.Blocked != nil {
 		blocked = p.cfg.Blocked()
+	}
+	var hints []int
+	if p.cfg.Remeasure != nil {
+		hints = p.cfg.Remeasure()
 	}
 
 	p.mu.Lock()
@@ -109,6 +115,17 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	p.mMeanSize.Set(m.MeanSize)
 	p.mCands.Set(float64(len(st.candidates)))
 
+	led := p.cfg.Ledger
+	round := len(st.history)
+	led.RecordRound(provenance.RoundEvent{
+		Round:      round,
+		Config:     cur,
+		Packets:    roundPackets,
+		Volumes:    volumes,
+		Clusters:   m.NumClusters,
+		Candidates: len(st.candidates),
+	})
+
 	// Volume-ranked clusters: estimate per-source volume by splitting
 	// each link's round volume evenly across the candidates it hosts
 	// (§III-C attribution at round granularity), then find the heaviest
@@ -130,16 +147,63 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 		// Quarantined configurations are routed around, not consumed:
 		// if every useful configuration is blocked the loop simply waits
 		// (converged stays false) and retries them once their links heal.
-		next := sched.NextGreedyVolumeMasked(st.part, p.attr.Catchments, estVol, st.used, blocked)
+		// With the ledger on, the scored variant captures the full
+		// candidate set the chosen configuration beat.
+		var next int
+		var scores []sched.ConfigScore
+		if led.Enabled() {
+			next, scores = sched.NextGreedyVolumeScored(st.part, p.attr.Catchments, estVol, st.used, blocked)
+		} else {
+			next = sched.NextGreedyVolumeMasked(st.part, p.attr.Catchments, estVol, st.used, blocked)
+		}
 		if next >= 0 {
 			st.used[next] = true
 			st.current = next
 			st.deployed = append(st.deployed, next)
 			deployIdx = next
 			p.mReconfig.Inc()
+			led.RecordReconfig(provenance.ReconfigEvent{
+				Round:   round,
+				Chosen:  next,
+				Reason:  "split",
+				Beaten:  candidateScores(scores),
+				Blocked: blockedConfigs(blocked),
+			})
+		}
+	}
+	// Probe-conflict re-measurement: when no split is pending but the
+	// probe channel disagrees with the catchment evidence for some
+	// sources, spend the round re-observing them under the unused
+	// configuration that covers the most conflicted sources. This feeds
+	// probe.Audit's conflict set back into live measurement instead of
+	// leaving the disagreement standing.
+	if deployIdx < 0 && !final && budgetLeft && len(hints) > 0 {
+		if next := sched.NextRemeasure(p.attr.Catchments, hints, st.used, blocked); next >= 0 {
+			st.used[next] = true
+			st.current = next
+			st.deployed = append(st.deployed, next)
+			deployIdx = next
+			p.mRemeasure.Inc()
+			led.RecordReconfig(provenance.ReconfigEvent{
+				Round:   round,
+				Chosen:  next,
+				Reason:  "remeasure",
+				Blocked: blockedConfigs(blocked),
+				Hints:   append([]int(nil), hints...),
+			})
 		}
 	}
 	st.converged = topSize >= 0 && !canSplit
+	if led.Enabled() {
+		led.RecordVerdict(provenance.VerdictEvent{
+			Origin:     "stream",
+			Round:      round,
+			Candidates: st.candidates,
+			Assign:     st.part.Assignments(),
+			Clusters:   m.NumClusters,
+			Converged:  st.converged,
+		})
+	}
 
 	// Start the next round (same config if nothing new to deploy). The
 	// epoch bump invalidates worker batches accumulated before this
@@ -238,6 +302,30 @@ func (p *Pipeline) splittableLocked(members []int) bool {
 		}
 	}
 	return false
+}
+
+// candidateScores converts the scheduler's candidate scores to the
+// ledger's representation.
+func candidateScores(scores []sched.ConfigScore) []provenance.CandidateScore {
+	if len(scores) == 0 {
+		return nil
+	}
+	out := make([]provenance.CandidateScore, len(scores))
+	for i, s := range scores {
+		out[i] = provenance.CandidateScore{Config: s.Config, Score: s.Score}
+	}
+	return out
+}
+
+// blockedConfigs lists the set configurations of a quarantine mask.
+func blockedConfigs(blocked []bool) []int {
+	var out []int
+	for c, b := range blocked {
+		if b {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // queueDepth sums the occupancy of every shard channel (approximate).

@@ -33,6 +33,7 @@ import (
 	"spooftrack/internal/bgp"
 	"spooftrack/internal/cluster"
 	"spooftrack/internal/metrics"
+	"spooftrack/internal/provenance"
 	"spooftrack/internal/spoof"
 	"spooftrack/internal/topo"
 	"spooftrack/internal/trace"
@@ -115,6 +116,20 @@ type Config struct {
 	// as if used, but become eligible again once unblocked. Wire it to
 	// sched.QuarantineMask over the platform's link health.
 	Blocked func() []bool
+	// Remeasure, if non-nil, is consulted at each evaluation for
+	// re-measurement hints: source positions whose evidence channels
+	// conflict (probe.Audit's conflict ASes mapped to campaign source
+	// positions). When a round ends without a split-driven deployment,
+	// the controller deploys the unused configuration that re-observes
+	// the most hinted sources (sched.NextRemeasure). Like Blocked, it is
+	// called from the controller outside the pipeline lock and must not
+	// call back into the pipeline.
+	Remeasure func() []int
+	// Ledger, if non-nil, records every round fold, reconfiguration
+	// decision (with the candidate set it beat), and verdict into the
+	// decision-provenance ledger. A nil ledger is provenance-off and
+	// costs one nil check per fold (internal/trace's disabled pattern).
+	Ledger *provenance.Ledger
 	// Metrics instruments the pipeline (nil = a private registry).
 	Metrics *metrics.Registry
 }
@@ -203,22 +218,23 @@ type Pipeline struct {
 	st loopState
 
 	// metrics (resolved once; hot-path friendly)
-	mEvents   *metrics.Counter
-	mBytes    *metrics.Counter
-	mDropped  *metrics.Counter
-	mBatches  *metrics.Counter
-	mRounds   *metrics.Counter
-	mReconfig *metrics.Counter
-	mSettle   *metrics.Counter
-	mEvals    *metrics.Counter
-	mClusters *metrics.Gauge
-	mCands    *metrics.Gauge
-	mMeanSize *metrics.Gauge
-	mQueue    *metrics.Gauge
-	mWater    *metrics.Gauge
-	hBatch    *metrics.Histogram
-	hEval     *metrics.Histogram
-	hLag      *metrics.Histogram
+	mEvents    *metrics.Counter
+	mBytes     *metrics.Counter
+	mDropped   *metrics.Counter
+	mBatches   *metrics.Counter
+	mRounds    *metrics.Counter
+	mReconfig  *metrics.Counter
+	mRemeasure *metrics.Counter
+	mSettle    *metrics.Counter
+	mEvals     *metrics.Counter
+	mClusters  *metrics.Gauge
+	mCands     *metrics.Gauge
+	mMeanSize  *metrics.Gauge
+	mQueue     *metrics.Gauge
+	mWater     *metrics.Gauge
+	hBatch     *metrics.Histogram
+	hEval      *metrics.Histogram
+	hLag       *metrics.Histogram
 
 	// labeled vectors: per-link children are resolved once at New into
 	// dense slices (the hot path indexes, never formats or hashes);
@@ -290,6 +306,7 @@ func New(attr Attribution, cfg Config) (*Pipeline, error) {
 	p.mBatches = reg.Counter("stream_batches_total")
 	p.mRounds = reg.Counter("stream_rounds_total")
 	p.mReconfig = reg.Counter("stream_reconfigs_total")
+	p.mRemeasure = reg.Counter("stream_remeasure_total")
 	p.mSettle = reg.Counter("stream_settle_excluded_total")
 	p.mEvals = reg.Counter("stream_evals_total")
 	p.mClusters = reg.Gauge("stream_clusters")
@@ -337,6 +354,27 @@ func New(attr Attribution, cfg Config) (*Pipeline, error) {
 	p.mClusters.Set(1)
 	p.mCands.Set(float64(n))
 	p.mMeanSize.Set(float64(n))
+
+	// Open the provenance chain: the stream's decision parameters, the
+	// full catchment evidence table (one row per configuration — the
+	// leaves every verdict chain must account for), and the initial
+	// deployment. All no-ops when the ledger is nil.
+	if led := cfg.Ledger; led.Enabled() {
+		led.RecordMeta(provenance.MetaEvent{
+			Component:      "stream",
+			NumSources:     n,
+			NumConfigs:     len(attr.Catchments),
+			NumLinks:       attr.NumLinks,
+			MaxMisses:      cfg.MaxMisses,
+			SplitThreshold: cfg.SplitThreshold,
+			NoiseFloor:     cfg.NoiseFloor,
+			InitialConfig:  attr.InitialConfig,
+		})
+		for c, row := range attr.Catchments {
+			led.RecordRow(provenance.RowEvent{Config: c, Catchment: row})
+		}
+		led.RecordDeploy(provenance.DeployEvent{Config: attr.InitialConfig, Attempts: 1, Phase: "initial"})
+	}
 
 	if cfg.Deploy != nil {
 		cfg.Deploy(attr.InitialConfig, p.table(attr.InitialConfig))

@@ -85,6 +85,32 @@ END {
 	}
 }' "$PROBE_TMP"
 
+echo "==> provenance-ledger overhead benchmarks (ledger-on must stay within 5% of ledger-off)"
+LEDGER_TMP=$(mktemp)
+go test ./internal/core/ -run '^$' -bench 'CampaignLedger' -benchmem \
+	-benchtime "$ENGINE_BENCHTIME" -count 3 | tee "$LEDGER_TMP"
+cat "$LEDGER_TMP" >>"$TMP"
+# Ledger budget: a campaign with full decision-provenance recording may
+# cost at most 1.05x the ledger-off baseline — the ledger is a nil check
+# per event site when off and lock-sharded appends when on, so anything
+# beyond 5% means an allocation leaked onto the hot path. Each side is
+# the minimum over -count runs: the min is the least-perturbed sample,
+# so runner scheduling noise cannot fail (or pass) the gate spuriously.
+awk '
+/^BenchmarkCampaignLedgerOff/ { if (off + 0 == 0 || $3 + 0 < off) off = $3 }
+/^BenchmarkCampaignLedgerOn/ { if (on + 0 == 0 || $3 + 0 < on) on = $3 }
+END {
+	if (off + 0 == 0 || on + 0 == 0) {
+		print "bench: missing campaign-ledger results"; exit 1
+	}
+	ratio = on / off
+	printf "bench: campaign with ledger = %.3fx ledger-off baseline\n", ratio
+	if (ratio > 1.05) {
+		print "bench: provenance ledger exceeds the 5% overhead budget"; exit 1
+	}
+}' "$LEDGER_TMP"
+rm -f "$LEDGER_TMP"
+
 echo "==> figure benchmarks (-benchtime $FIGURE_BENCHTIME)"
 go test . -run '^$' -bench '.' -benchmem \
 	-benchtime "$FIGURE_BENCHTIME" -timeout 60m | tee -a "$TMP"

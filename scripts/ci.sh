@@ -16,14 +16,17 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch, fault, peering, probe)"
-go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/... ./internal/fault/... ./internal/peering/... ./internal/probe/...
+echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch, fault, peering, probe, provenance)"
+go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/... ./internal/fault/... ./internal/peering/... ./internal/probe/... ./internal/provenance/...
 
 echo "==> chaos smoke (fixed-seed fault profiles, campaigns must converge)"
 go test ./internal/core/ -run 'Chaos' -count=1
 
 echo "==> probe chaos smoke (probe-storm must degrade to low confidence, never wrong)"
 go test ./internal/probe/ -run 'ProbeStorm' -count=1
+
+echo "==> provenance replay smoke (ledger must reproduce verdicts byte for byte under faults)"
+go test ./internal/provenance/ -run 'Replay' -count=1
 
 echo "==> delta-propagation equivalence smoke (full-vs-incremental, race detector on)"
 go test -race ./internal/bgp/ -run 'TestPropagateDeltaMatchesFull|TestOutcomeReleaseRecycling' -count=1

@@ -36,6 +36,7 @@ import (
 	"spooftrack/internal/fault"
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/peering"
+	"spooftrack/internal/provenance"
 	"spooftrack/internal/report"
 	"spooftrack/internal/sched"
 	"spooftrack/internal/spoof"
@@ -92,7 +93,18 @@ type (
 	FaultProfile = fault.Profile
 	// FaultInjector is the deterministic, seed-driven fault injector.
 	FaultInjector = fault.Injector
+	// ProvenanceLedger is the append-only decision-provenance ledger:
+	// it records every input that shaped a localization verdict and
+	// replays verdicts deterministically (internal/provenance).
+	ProvenanceLedger = provenance.Ledger
 )
+
+// NewProvenanceLedger returns an enabled decision-provenance ledger.
+// Pass it through TrackerParams.Ledger and stream.Config.Ledger; keep a
+// nil *ProvenanceLedger to run with provenance off at ≈zero cost.
+func NewProvenanceLedger() *ProvenanceLedger {
+	return provenance.New(provenance.Options{})
+}
 
 // Phase constants.
 const (
@@ -156,6 +168,10 @@ type TrackerParams struct {
 	// FaultSeed seeds the deterministic injector; the same
 	// (profile, seed) pair yields the same fault schedule.
 	FaultSeed uint64
+	// Ledger, if non-nil, records campaign provenance (deployments,
+	// retries, degradations, catchment rows, the campaign verdict) and
+	// link-quarantine transitions. Nil disables provenance.
+	Ledger *ProvenanceLedger
 }
 
 // DefaultTrackerParams returns paper-scale tracker parameters.
@@ -196,6 +212,15 @@ func NewTracker(p TrackerParams) (*Tracker, error) {
 		Ctx:      p.Ctx,
 		Metrics:  p.Metrics,
 		Retry:    p.Retry,
+		Ledger:   p.Ledger,
+	}
+	if led := p.Ledger; led.Enabled() {
+		// Quarantine transitions feed the ledger from the first campaign
+		// deployment on — breaker trips during the offline campaign are
+		// part of the verdict's evidence chain.
+		w.Platform.Health().SetTransitionHook(func(link bgp.LinkID, from, to peering.BreakerState) {
+			led.RecordQuarantine(provenance.QuarantineEvent{Link: int(link), From: from.String(), To: to.String()})
+		})
 	}
 	var inj *fault.Injector
 	if prof.Name != "" && prof.Name != "none" {
