@@ -17,6 +17,12 @@
 //	/metrics      counters, gauges, histograms and labeled vectors; JSON by
 //	              default, Prometheus text format via Accept: text/plain or
 //	              ?format=prometheus
+//	/query        range queries over the embedded metric history: raw
+//	              samples, counter-reset-aware rate(), sum/max aggregation
+//	              across vector children, quantile-over-time on histograms
+//	              (404 with -scrape-interval 0)
+//	/dash         self-contained live dashboard (inline JS sparklines
+//	              polling /query; no external assets)
 //	/evidence     operator-facing localization evidence for the candidates
 //	/explain      decision-provenance: verdict list (JSON), full ledger
 //	              timeline (?format=ledger) or DOT provenance graph
@@ -74,8 +80,14 @@ import (
 	"spooftrack/internal/spoof"
 	"spooftrack/internal/stream"
 	"spooftrack/internal/trace"
+	"spooftrack/internal/tsdb"
 	"spooftrack/internal/watch"
 )
+
+// degradedRecoveryWindow is how long the shed-drop counter must stay
+// flat (per metric history) before the pipeline's degraded flag may
+// clear.
+const degradedRecoveryWindow = 30 * time.Second
 
 func main() {
 	var (
@@ -113,6 +125,9 @@ func main() {
 		probeLossSLO  = flag.Float64("slo-probe-loss", 0.9, "probe loss-rate SLO ceiling (0..1)")
 		cacheCap      = flag.Int("outcome-cache-cap", 0, "outcome cache capacity in entries (0 = default, negative = unbounded)")
 		ledgerOn      = flag.Bool("ledger", true, "record the decision-provenance ledger (serve /explain)")
+		scrapeEvery   = flag.Duration("scrape-interval", time.Second, "metric history scrape cadence (0 = history engine off: no /query, /dash, windowed or burn-rate SLOs)")
+		dropObjective = flag.Float64("slo-drop-objective", 0.99, "border delivery objective for the drop burn-rate SLO (0..1)")
+		dropBurnSLO   = flag.Float64("slo-drop-burn", 2.0, "drop burn-rate SLO threshold (error-budget multiples)")
 	)
 	flag.Parse()
 
@@ -128,13 +143,31 @@ func main() {
 	// duration into a per-span-name histogram, making trace timings
 	// visible on /metrics without exporting the journal.
 	reg := metrics.NewRegistry()
+	registerRuntimeGauges(reg)
 	spanObs := metrics.SpanObserver(reg, "trace_span_")
+	// Journal evictions are span loss: a span overwritten before anyone
+	// exported it. Counted per span name so a hot path flooding the
+	// journal is identifiable (and alertable) from /metrics.
+	vEvicted := reg.CounterVec("trace_journal_evicted_total", "track")
 	tracer := trace.New(trace.Options{
 		Enabled:    *traceOn,
 		JournalCap: *traceJournal,
 		OnEnd:      func(rec trace.SpanRecord) { spanObs(rec.Name, rec.Duration.Seconds()) },
+		OnEvict:    func(rec trace.SpanRecord) { vEvicted.With(rec.Name).Inc() },
 	})
 	trace.SetGlobal(tracer)
+
+	// Embedded metric history: scrape the registry on a ticker into the
+	// Gorilla-compressed tiered store. Everything history-backed — /query,
+	// /dash, windowed SLO rates, burn-rate rules, breach-bundle context —
+	// hangs off this handle; with -scrape-interval 0 it stays nil and the
+	// daemon degrades to instantaneous two-frame semantics.
+	var db *tsdb.DB
+	if *scrapeEvery > 0 {
+		db = tsdb.New(tsdb.Options{Registry: reg, Interval: *scrapeEvery})
+		db.Start()
+		defer db.Stop()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -237,6 +270,19 @@ func main() {
 		Settle:           *settle,
 		Metrics:          reg,
 		Shed:             *shed,
+		// History-aware recovery: the degraded flag clears only after a
+		// full recovery window with zero shed drops, not merely one quiet
+		// controller tick — a flapping overload holds the flag instead of
+		// strobing /readyz. Without history the controller's own
+		// drained-and-quiet check stands alone.
+		DegradedRecovery: func() bool {
+			if db == nil {
+				return true
+			}
+			now := time.Now()
+			delta, _, ok := db.Increase("stream_dropped_total", "", now.Add(-degradedRecoveryWindow), now)
+			return !ok || delta == 0
+		},
 		// Configurations whose links are quarantined by the circuit
 		// breaker are routed around until the breaker cools down.
 		Blocked: func() []bool {
@@ -258,6 +304,16 @@ func main() {
 		slog.Error("pipeline failed", "err", err)
 		os.Exit(1)
 	}
+	// The shed/degraded flag as a gauge, so the dashboard and /query see
+	// its history (when it flapped, for how long), not just the current
+	// boolean on /readyz.
+	reg.GaugeFunc("stream_degraded", func() float64 {
+		if pipe.Degraded() {
+			return 1
+		}
+		return 0
+	})
+
 	tap := amp.Tap(func(ev amp.Event) { pipe.Ingest(ev) })
 	if tracker.Fault != nil {
 		// Event-tap drops ride the same injector: the pipeline sees a
@@ -322,6 +378,18 @@ func main() {
 		Tracer:    tracer,
 		BundleDir: *bundleDir,
 		OnBreach:  nil,
+		// History-backed evaluation: rate rules average over their Window
+		// instead of two adjacent ticks, burn-rate rules compare error
+		// budget consumption across fast and slow windows, and breach
+		// bundles embed the metric history leading into the breach.
+		DB: db,
+		BundleHistory: []string{
+			"stream_events_total",
+			"stream_dropped_total",
+			"stream_flush_lag_seconds",
+			"amp_border_packets_total",
+			"bgp_outcome_cache_requests_total",
+		},
 		Rules: []watch.Rule{
 			{
 				Name:      "stream-flush-lag-p99",
@@ -334,14 +402,33 @@ func main() {
 				Name:      "border-drop-rate",
 				Expr:      watch.Series("amp_border_packets_total", "outcome=dropped"),
 				Rate:      true,
+				Window:    time.Minute,
 				Op:        watch.Above,
 				Threshold: *dropSLO,
+				For:       3,
+			},
+			// Multi-window burn rate on border delivery: fires only when
+			// the drop fraction consumes the error budget (1−objective)
+			// faster than the threshold over BOTH windows — the fast one
+			// says the budget is burning now, the slow one proves it is
+			// not a blip. Complements the absolute drop-rate rule above:
+			// at low traffic a fixed pps threshold stays silent while the
+			// drop *fraction* can be catastrophic.
+			{
+				Name:      "border-drop-burn",
+				ErrorExpr: watch.Series("amp_border_packets_total", "outcome=dropped"),
+				TotalExpr: watch.VecSum("amp_border_packets_total"),
+				Objective: *dropObjective,
+				Windows:   []time.Duration{5 * time.Minute, time.Hour},
+				Op:        watch.Above,
+				Threshold: *dropBurnSLO,
 				For:       3,
 			},
 			{
 				Name:      "stream-shed-rate",
 				Expr:      watch.Metric("stream_dropped_total"),
 				Rate:      true,
+				Window:    time.Minute,
 				Op:        watch.Above,
 				Threshold: *shedSLO,
 				For:       3,
@@ -384,11 +471,11 @@ func main() {
 	dog.Start()
 	defer dog.Stop()
 
-	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health(), pv, led)}
+	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health(), pv, led, db)}
 	httpErr := make(chan error, 1)
 	go func() {
 		slog.Info("http listening", "addr", *listen,
-			"endpoints", "/status /faults /probe /metrics /evidence /explain /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
+			"endpoints", "/status /faults /probe /metrics /query /dash /evidence /explain /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
 		httpErr <- srv.ListenAndServe()
 	}()
 	slog.Info("packet plane up: point spoofed traffic at the border",
@@ -588,8 +675,9 @@ type probeStatus struct {
 // nil (no watchdog: /readyz degrades to a pipeline-started check, /slo
 // and /debug/bundle report 404); inj and health may be nil (no injector
 // / no platform); pv may be nil (probing off: /probe reports 404); led
-// may be nil (provenance off: /explain reports 404).
-func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth, pv *probeView, led *provenance.Ledger) *http.ServeMux {
+// may be nil (provenance off: /explain reports 404); db may be nil
+// (history off: /query and /dash report 404).
+func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth, pv *probeView, led *provenance.Ledger, db *tsdb.DB) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, pipe.Status(10))
@@ -622,6 +710,15 @@ func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog 
 		writeJSON(w, ps)
 	})
 	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/query", queryHandler(db))
+	mux.HandleFunc("/dash", func(w http.ResponseWriter, r *http.Request) {
+		if db == nil {
+			http.Error(w, "no metric history (-scrape-interval 0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = fmt.Fprint(w, dashHTML)
+	})
 	mux.HandleFunc("/evidence", func(w http.ResponseWriter, r *http.Request) {
 		if pipe.Status(0).Rounds == 0 {
 			http.Error(w, "no rounds folded yet: evidence would list every source as a candidate", http.StatusConflict)

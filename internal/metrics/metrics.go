@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing int64.
@@ -328,17 +329,22 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
+// timeNow is the export clock, a variable so tests comparing two
+// serializations of one registry can pin it.
+var timeNow = time.Now
+
 // WriteJSON emits the registry expvar-style: one JSON object, metrics
-// in registration order.
+// in registration order, led by a "ts" unix-seconds capture timestamp
+// so exported snapshots are self-describing when archived.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	r.mu.RLock()
 	names := append([]string(nil), r.order...)
 	r.mu.RUnlock()
 	snap := r.Snapshot()
-	if _, err := fmt.Fprint(w, "{"); err != nil {
+	if _, err := fmt.Fprintf(w, "{\n\"ts\": %d", timeNow().Unix()); err != nil {
 		return err
 	}
-	for i, name := range names {
+	for _, name := range names {
 		v, ok := snap[name]
 		if !ok {
 			continue
@@ -347,11 +353,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sep := ",\n"
-		if i == 0 {
-			sep = "\n"
-		}
-		if _, err := fmt.Fprintf(w, "%s%q: %s", sep, name, data); err != nil {
+		if _, err := fmt.Fprintf(w, ",\n%q: %s", name, data); err != nil {
 			return err
 		}
 	}

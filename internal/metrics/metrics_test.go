@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"math"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterConcurrent(t *testing.T) {
@@ -106,6 +108,9 @@ func TestWriteJSONAndHandler(t *testing.T) {
 	r.Gauge("queue_depth").Set(7)
 	r.Histogram("flush_size", 1, 10, 100).Observe(5)
 
+	defer func(orig func() time.Time) { timeNow = orig }(timeNow)
+	timeNow = func() time.Time { return time.Unix(1_700_000_000, 0) }
+
 	var buf bytes.Buffer
 	if err := r.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -113,6 +118,14 @@ func TestWriteJSONAndHandler(t *testing.T) {
 	var decoded map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// The snapshot leads with its capture timestamp, self-describing for
+	// anyone archiving exports.
+	if decoded["ts"] != float64(1_700_000_000) {
+		t.Fatalf("ts = %v, want 1700000000", decoded["ts"])
+	}
+	if !strings.HasPrefix(buf.String(), "{\n\"ts\": 1700000000,\n") {
+		t.Fatalf("ts is not the first key:\n%s", buf.String())
 	}
 	if decoded["ingested"] != float64(42) {
 		t.Fatalf("ingested = %v", decoded["ingested"])

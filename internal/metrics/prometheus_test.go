@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -145,6 +146,11 @@ func TestSanitizeMetricName(t *testing.T) {
 
 func TestHandlerContentNegotiation(t *testing.T) {
 	r := goldenRegistry()
+	// Pin the export clock: the byte-compat check below serializes the
+	// registry twice, and a real clock could cross a second boundary
+	// between them.
+	defer func(orig func() time.Time) { timeNow = orig }(timeNow)
+	timeNow = func() time.Time { return time.Unix(1_700_000_000, 0) }
 
 	// Default (no Accept) stays JSON — byte compatibility with existing
 	// consumers.

@@ -53,6 +53,12 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	if p.cfg.Remeasure != nil {
 		hints = p.cfg.Remeasure()
 	}
+	// Evaluated outside p.mu like the other callbacks: recovery oracles
+	// typically query metric history and may take their own locks.
+	recoveryOK := true
+	if p.cfg.DegradedRecovery != nil {
+		recoveryOK = p.cfg.DegradedRecovery()
+	}
 
 	p.mu.Lock()
 	st := &p.st
@@ -62,10 +68,11 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	}
 	queued := p.queueDepth()
 	p.mQueue.Set(float64(queued))
-	// Degraded recovery: no shed drops since the last evaluation and the
-	// queues have drained — the overload has passed.
+	// Degraded recovery: no shed drops since the last evaluation, the
+	// queues have drained, and the recovery oracle (when configured)
+	// agrees the overload has passed.
 	if d := p.droppedN.Load(); d == st.lastDropped {
-		if queued == 0 && p.degraded.Load() {
+		if queued == 0 && recoveryOK && p.degraded.Load() {
 			p.degraded.Store(false)
 		}
 	} else {

@@ -135,6 +135,69 @@ func TestShedOverload(t *testing.T) {
 	}
 }
 
+// TestDegradedRecoveryHook: with a DegradedRecovery oracle configured,
+// drained queues and a quiet drop counter are necessary but not
+// sufficient — the flag stays raised until the oracle agrees, and
+// clears promptly once it does.
+func TestDegradedRecoveryHook(t *testing.T) {
+	var recovered atomic.Bool // oracle answer; starts false
+	p, err := New(testAttribution(), Config{
+		Workers:          1,
+		QueueDepth:       2,
+		BatchSize:        1,
+		FlushInterval:    time.Millisecond,
+		EvalInterval:     2 * time.Millisecond,
+		MinRoundPackets:  1 << 40,
+		Shed:             true,
+		DegradedRecovery: func() bool { return recovered.Load() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Force drops the same way TestShedOverload does: wedge the worker
+	// behind the state mutex until the tiny shard queue overflows.
+	p.mu.Lock()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Dropped() == 0 {
+		if time.Now().After(deadline) {
+			p.mu.Unlock()
+			t.Fatal("no drops despite a wedged consumer")
+		}
+		p.Ingest(testEvent(0))
+	}
+	p.mu.Unlock()
+	if !p.Degraded() {
+		t.Fatal("drops must raise the degraded flag")
+	}
+
+	// Queues drain and drops stop, but the oracle still says no: the
+	// flag must hold across many controller evaluations.
+	evals := p.cfg.Metrics.Counter("stream_evals_total")
+	base := evals.Value()
+	deadline = time.Now().Add(5 * time.Second)
+	for evals.Value() < base+5 {
+		if time.Now().After(deadline) {
+			t.Fatal("controller stopped evaluating")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !p.Degraded() {
+		t.Fatal("degraded flag cleared while the recovery oracle said no")
+	}
+
+	// Oracle flips: the next evaluation with drained queues clears it.
+	recovered.Store(true)
+	deadline = time.Now().Add(5 * time.Second)
+	for p.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("degraded flag never cleared after the oracle agreed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // TestBlockedConfigRouting: the controller routes around quarantined
 // configurations and deploys them once unblocked.
 func TestBlockedConfigRouting(t *testing.T) {

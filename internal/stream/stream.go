@@ -110,6 +110,15 @@ type Config struct {
 	// queues drain and no further drops occur. Use when the tap must
 	// never stall the packet path (spooftrackd -shed).
 	Shed bool
+	// DegradedRecovery, if non-nil, is an extra gate on clearing the
+	// degraded flag: the controller still requires drained queues and a
+	// quiet drop counter, but additionally asks this callback before
+	// declaring the overload over. Wire it to metric history (the tsdb
+	// engine) so recovery means "no shedding for a whole window", not
+	// "no shedding since the last tick" — a flapping overload then holds
+	// the flag instead of strobing it. Called from the controller outside
+	// the pipeline lock; must not call back into the pipeline.
+	DegradedRecovery func() bool
 	// Blocked, if non-nil, is consulted at each evaluation for the
 	// per-configuration quarantine mask (nil = nothing blocked): blocked
 	// configurations are routed around when picking the next deployment,

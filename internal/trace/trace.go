@@ -46,6 +46,11 @@ type Options struct {
 	// span. This is the bridge hook: cmd/spooftrackd uses it to feed
 	// span durations into the metrics registry's histograms.
 	OnEnd func(SpanRecord)
+	// OnEvict, if non-nil, is invoked synchronously with every span
+	// evicted from the bounded journal (overwritten before anyone
+	// exported it). cmd/spooftrackd counts these per span name, so span
+	// loss under load is alertable instead of silent.
+	OnEvict func(SpanRecord)
 }
 
 // Tracer collects finished spans into a bounded, lock-sharded journal.
@@ -55,6 +60,7 @@ type Tracer struct {
 	enabled atomic.Bool
 	nextID  atomic.Uint64
 	onEnd   func(SpanRecord)
+	onEvict func(SpanRecord)
 	mask    uint64
 	shards  []journalShard
 }
@@ -77,7 +83,7 @@ func New(opts Options) *Tracer {
 		ns <<= 1
 	}
 	per := (capacity + ns - 1) / ns
-	t := &Tracer{onEnd: opts.OnEnd, mask: uint64(ns - 1), shards: make([]journalShard, ns)}
+	t := &Tracer{onEnd: opts.OnEnd, onEvict: opts.OnEvict, mask: uint64(ns - 1), shards: make([]journalShard, ns)}
 	for i := range t.shards {
 		t.shards[i].buf = make([]SpanRecord, 0, per)
 	}
@@ -110,10 +116,13 @@ func (t *Tracer) Start(name string) *Span {
 // oldest record once the shard ring is full.
 func (t *Tracer) record(rec SpanRecord) {
 	sh := &t.shards[rec.ID&t.mask]
+	var evicted SpanRecord
+	var didEvict bool
 	sh.mu.Lock()
 	if len(sh.buf) < cap(sh.buf) {
 		sh.buf = append(sh.buf, rec)
 	} else if cap(sh.buf) > 0 {
+		evicted, didEvict = sh.buf[sh.next], true
 		sh.buf[sh.next] = rec
 		sh.next++
 		if sh.next == cap(sh.buf) {
@@ -122,6 +131,9 @@ func (t *Tracer) record(rec SpanRecord) {
 		sh.dropped++
 	}
 	sh.mu.Unlock()
+	if didEvict && t.onEvict != nil {
+		t.onEvict(evicted)
+	}
 	if t.onEnd != nil {
 		t.onEnd(rec)
 	}

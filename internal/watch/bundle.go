@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"spooftrack/internal/tsdb"
 )
 
 // Bundle is a self-contained diagnostic capture taken at breach time:
@@ -19,21 +21,30 @@ import (
 // are in pprof's debug=1 text form so the bundle stays one readable
 // JSON document.
 type Bundle struct {
-	Version      int             `json:"version"`
-	Time         time.Time       `json:"time"`
-	Breach       Breach          `json:"breach"`
-	RuleFor      int             `json:"rule_for"`
-	RuleRate     bool            `json:"rule_rate"`
-	Snapshots    []Snapshot      `json:"snapshots"`
-	Trace        json.RawMessage `json:"trace,omitempty"`
-	Goroutine    string          `json:"goroutine_profile"`
-	Heap         string          `json:"heap_profile"`
-	NumGoroutine int             `json:"num_goroutine"`
-	GoVersion    string          `json:"go_version"`
+	Version   int        `json:"version"`
+	Time      time.Time  `json:"time"`
+	Breach    Breach     `json:"breach"`
+	RuleFor   int        `json:"rule_for"`
+	RuleRate  bool       `json:"rule_rate"`
+	Snapshots []Snapshot `json:"snapshots"`
+	// History is the tsdb range for Config.BundleHistory families over
+	// the breached rule's longest window (at least bundleHistorySpan),
+	// ending at breach time — the query an operator would run first,
+	// already answered.
+	History      []tsdb.SeriesData `json:"history,omitempty"`
+	HistoryFrom  time.Time         `json:"history_from,omitempty"`
+	Trace        json.RawMessage   `json:"trace,omitempty"`
+	Goroutine    string            `json:"goroutine_profile"`
+	Heap         string            `json:"heap_profile"`
+	NumGoroutine int               `json:"num_goroutine"`
+	GoVersion    string            `json:"go_version"`
 }
 
 // bundleVersion is bumped when the bundle shape changes incompatibly.
 const bundleVersion = 1
+
+// bundleHistorySpan is the minimum history window embedded in bundles.
+const bundleHistorySpan = 10 * time.Minute
 
 // writeBundleLocked captures and atomically writes a diagnostic bundle
 // for the breach, returning its path. Caller holds w.mu (the recorder
@@ -51,6 +62,23 @@ func (w *Watchdog) writeBundleLocked(b Breach) (string, error) {
 	if rule, ok := w.ruleByName(b.Rule); ok {
 		bundle.RuleFor = max(rule.For, 1)
 		bundle.RuleRate = rule.Rate
+		if w.cfg.DB != nil && len(w.cfg.BundleHistory) > 0 {
+			span := bundleHistorySpan
+			if rule.Window > span {
+				span = rule.Window
+			}
+			for _, win := range rule.Windows {
+				if win > span {
+					span = win
+				}
+			}
+			bundle.HistoryFrom = b.Time.Add(-span)
+			for _, family := range w.cfg.BundleHistory {
+				bundle.History = append(bundle.History, w.cfg.DB.Query(tsdb.Query{
+					Series: family, From: bundle.HistoryFrom, To: b.Time,
+				})...)
+			}
+		}
 	}
 	if w.cfg.Tracer != nil {
 		var tb bytes.Buffer

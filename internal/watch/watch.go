@@ -34,6 +34,7 @@ import (
 
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/trace"
+	"spooftrack/internal/tsdb"
 )
 
 // Expr extracts one value from a registry snapshot. The bool reports
@@ -207,16 +208,44 @@ type Rule struct {
 	Name string
 	// Expr extracts the value under watch from a snapshot.
 	Expr Expr
-	// Rate, when set, evaluates Expr on the current and previous
-	// snapshots and watches the per-second delta instead of the level —
-	// the shape counter-derived SLOs (drop rate, error rate) take.
+	// Rate, when set, watches Expr's per-second growth instead of its
+	// level — the shape counter-derived SLOs (drop rate, error rate)
+	// take. With a history DB wired (Config.DB) the rate is taken over
+	// Window of real history, which a one-tick spike between two
+	// adjacent snapshots cannot fake; without one it falls back to the
+	// delta between consecutive evaluation snapshots.
 	Rate bool
+	// Window is the history span Rate rules average over when Config.DB
+	// is set (default 1m). Ignored for level rules.
+	Window time.Duration
 	// Op and Threshold define the breach condition.
 	Op        Op
 	Threshold float64
 	// For is the number of consecutive breaching evaluations before the
 	// rule fires (default 1 — fire immediately).
 	For int
+
+	// Burn-rate SLO fields (Google SRE multi-window form). When
+	// Objective, ErrorExpr, and TotalExpr are all set and Config.DB is
+	// wired, the rule watches
+	//
+	//	burn(W) = (increase(error, W) / increase(total, W)) / (1 − Objective)
+	//
+	// for every window in Windows (e.g. a fast 5m and a slow 1h), and
+	// reports the SMALLEST burn — so an Above rule breaches only when
+	// every window burns hot: the fast window proves it is happening
+	// now, the slow one proves it is not a blip. Windows reaching past
+	// recorded history clamp to the oldest sample, so a freshly started
+	// daemon measures real burn instead of diluting over missing time.
+	ErrorExpr Expr
+	TotalExpr Expr
+	Objective float64 // availability target in (0,1), e.g. 0.999
+	Windows   []time.Duration
+}
+
+// burnRule reports whether the rule is a multi-window burn-rate SLO.
+func (r Rule) burnRule() bool {
+	return r.Objective > 0 && r.Objective < 1 && r.ErrorExpr != nil && r.TotalExpr != nil && len(r.Windows) > 0
 }
 
 // RuleStatus is one rule's current evaluation state.
@@ -245,9 +274,12 @@ type Breach struct {
 }
 
 // Snapshot is one flight-recorder frame: a registry snapshot and when
-// it was taken.
+// it was taken. TS repeats the capture instant as unix seconds so
+// exported frames are self-describing to consumers that don't parse
+// RFC 3339.
 type Snapshot struct {
 	Time    time.Time      `json:"time"`
+	TS      int64          `json:"ts"`
 	Metrics map[string]any `json:"metrics"`
 }
 
@@ -255,6 +287,15 @@ type Snapshot struct {
 type Config struct {
 	// Registry is the metrics registry to watch (required).
 	Registry *metrics.Registry
+	// DB, when non-nil, gives rules metric history: Rate rules average
+	// over their Window instead of two adjacent ticks, burn-rate rules
+	// become possible, and breach bundles embed the relevant query
+	// window. The watchdog never writes to it.
+	DB *tsdb.DB
+	// BundleHistory names metric families whose recent history (over the
+	// breached rule's longest window, at least 10m) is embedded in
+	// diagnostic bundles when DB is set.
+	BundleHistory []string
 	// Rules are the SLOs to evaluate each tick.
 	Rules []Rule
 	// Interval is the evaluation cadence for Start (default 5s).
@@ -367,7 +408,7 @@ func (w *Watchdog) Stop() {
 // (usually none). Exported so tests and callers without a ticker can
 // drive the watchdog deterministically.
 func (w *Watchdog) Evaluate(now time.Time) []Breach {
-	cur := Snapshot{Time: now, Metrics: w.cfg.Registry.Snapshot()}
+	cur := Snapshot{Time: now, TS: now.Unix(), Metrics: w.cfg.Registry.Snapshot()}
 
 	w.mu.Lock()
 	prev := w.prev
@@ -436,14 +477,27 @@ func (w *Watchdog) Evaluate(now time.Time) []Breach {
 	return fired
 }
 
-// eval computes a rule's value: the expression on the current snapshot,
-// or its per-second delta against the previous snapshot for Rate rules.
+// eval computes a rule's value: the expression on the current snapshot;
+// its per-second growth over Window (history-backed) or against the
+// previous snapshot (two-frame fallback) for Rate rules; or the minimum
+// multi-window burn for burn-rate rules.
 func (w *Watchdog) eval(rule Rule, cur Snapshot, prev *Snapshot) (float64, bool) {
+	if rule.burnRule() {
+		return w.evalBurn(rule, cur)
+	}
 	v, ok := rule.Expr(cur.Metrics)
 	if !rule.Rate {
 		return v, ok
 	}
-	if !ok || prev == nil {
+	if !ok {
+		return 0, false
+	}
+	if w.cfg.DB != nil {
+		if rv, rok := w.evalWindowRate(rule, cur, v); rok {
+			return rv, true
+		}
+	}
+	if prev == nil {
 		return 0, false
 	}
 	pv, pok := rule.Expr(prev.Metrics)
@@ -452,6 +506,73 @@ func (w *Watchdog) eval(rule Rule, cur Snapshot, prev *Snapshot) (float64, bool)
 		return 0, false
 	}
 	return (v - pv) / dt, true
+}
+
+// evalWindowRate is the history-backed Rate path: Expr now versus Expr
+// over a reconstructed snapshot Window ago, divided by the real span.
+// The window clamps to the DB's oldest sample so warmup rates are
+// honest rather than silent.
+func (w *Watchdog) evalWindowRate(rule Rule, cur Snapshot, curVal float64) (float64, bool) {
+	win := rule.Window
+	if win <= 0 {
+		win = time.Minute
+	}
+	then := cur.Time.Add(-win)
+	if early, ok := w.cfg.DB.Earliest(); ok && early.After(then) {
+		then = early
+	}
+	dt := cur.Time.Sub(then).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	pv, ok := rule.Expr(w.cfg.DB.SnapshotAt(then))
+	if !ok {
+		return 0, false
+	}
+	return (curVal - pv) / dt, true
+}
+
+// evalBurn computes the minimum burn rate across the rule's windows.
+// "No traffic in a window" is no data, not zero burn.
+func (w *Watchdog) evalBurn(rule Rule, cur Snapshot) (float64, bool) {
+	if w.cfg.DB == nil {
+		return 0, false
+	}
+	eNow, ok1 := rule.ErrorExpr(cur.Metrics)
+	tNow, ok2 := rule.TotalExpr(cur.Metrics)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	denom := 1 - rule.Objective
+	early, hasEarly := w.cfg.DB.Earliest()
+	best := 0.0
+	for i, win := range rule.Windows {
+		then := cur.Time.Add(-win)
+		if hasEarly && early.After(then) {
+			then = early
+		}
+		if !then.Before(cur.Time) {
+			return 0, false
+		}
+		past := w.cfg.DB.SnapshotAt(then)
+		// A counter absent from the reconstructed past snapshot had not
+		// been incremented yet: its value then was zero.
+		eThen, _ := rule.ErrorExpr(past)
+		tThen, _ := rule.TotalExpr(past)
+		dTot := tNow - tThen
+		if dTot <= 0 {
+			return 0, false
+		}
+		dErr := eNow - eThen
+		if dErr < 0 {
+			dErr = 0
+		}
+		burn := (dErr / dTot) / denom
+		if i == 0 || burn < best {
+			best = burn
+		}
+	}
+	return best, true
 }
 
 func compare(op Op, v, threshold float64) bool {

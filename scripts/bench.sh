@@ -63,6 +63,37 @@ go test ./internal/peering/ -run '^$' -bench 'PlatformPropagate' -benchmem \
 go test ./internal/stream/ -run '^$' -bench 'StreamIngestShed' -benchmem \
 	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
 
+echo "==> metric-history benchmarks (scrape + range-query cost; scrape-on ingest must stay within 5%)"
+go test ./internal/tsdb/ -run '^$' -bench 'TsdbScrape|TsdbQueryRange|TsdbSnapshotAt' -benchmem \
+	-benchtime "$ENGINE_BENCHTIME" | tee -a "$TMP"
+SCRAPE_TMP=$(mktemp)
+# The ingest op is ~100ns, so ENGINE_BENCHTIME's 20x default would
+# measure timer noise; pin an iteration count long enough to overlap
+# thousands of real scrapes (~0.2s per run).
+go test ./internal/stream/ -run '^$' -bench 'StreamIngestScrape' -benchmem \
+	-benchtime 2000000x -count 5 | tee "$SCRAPE_TMP"
+cat "$SCRAPE_TMP" >>"$TMP"
+# History-engine budget: ingest with the tsdb scraping the pipeline's
+# registry at a 1ms cadence (1000x production) may cost at most 1.05x
+# the scrape-off baseline — scrapes only read the hot path's atomics,
+# so anything beyond 5% means the scraper is contending rather than
+# observing. Min over -count runs, like the ledger gate, so scheduling
+# noise cannot flip the verdict.
+awk '
+/^BenchmarkStreamIngestScrape\/scrape-off/ { if (off + 0 == 0 || $3 + 0 < off) off = $3 }
+/^BenchmarkStreamIngestScrape\/scrape-on/ { if (on + 0 == 0 || $3 + 0 < on) on = $3 }
+END {
+	if (off + 0 == 0 || on + 0 == 0) {
+		print "bench: missing ingest-scrape results"; exit 1
+	}
+	ratio = on / off
+	printf "bench: ingest with live scraping = %.3fx scrape-off baseline\n", ratio
+	if (ratio > 1.05) {
+		print "bench: metric-history scraping exceeds the 5% ingest overhead budget"; exit 1
+	}
+}' "$SCRAPE_TMP"
+rm -f "$SCRAPE_TMP"
+
 echo "==> probe-scan benchmarks (scan round cost; probe scans must not perturb propagation)"
 go test ./internal/probe/ -run '^$' -bench 'ProbeRound|PropagateQuiet|PropagateDuringProbeScan' -benchmem \
 	-benchtime "$ENGINE_BENCHTIME" | tee "$PROBE_TMP"

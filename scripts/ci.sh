@@ -16,8 +16,8 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch, fault, peering, probe, provenance)"
-go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/... ./internal/fault/... ./internal/peering/... ./internal/probe/... ./internal/provenance/...
+echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch, tsdb, fault, peering, probe, provenance)"
+go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/... ./internal/tsdb/... ./internal/fault/... ./internal/peering/... ./internal/probe/... ./internal/provenance/...
 
 echo "==> chaos smoke (fixed-seed fault profiles, campaigns must converge)"
 go test ./internal/core/ -run 'Chaos' -count=1
