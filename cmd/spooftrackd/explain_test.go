@@ -39,7 +39,7 @@ func testLedger() *provenance.Ledger {
 
 // explainMux is a mux with only the provenance surface live.
 func explainMux(led *provenance.Ledger) *http.ServeMux {
-	return newMux(nil, metrics.NewRegistry(), nil, nil, nil, nil, nil, led, nil)
+	return newMux(nil, metrics.NewRegistry(), nil, nil, nil, nil, nil, led, nil, nil)
 }
 
 // goldenBody compares body against testdata/<name>, rewriting the file

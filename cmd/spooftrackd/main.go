@@ -34,6 +34,9 @@
 //	/debug/pprof/ standard Go profiling endpoints
 //	/debug/bundle latest SLO-breach diagnostic bundle (404 until one fires)
 //	/slo          watchdog rule states (value, threshold, breach streak)
+//	/cluster      sharded-ingest state: leader, term, epoch, member states,
+//	              deferred/discarded rounds (404 in single-node mode)
+//	/shard/*      shard RPC surface: collect/apply/hello (-shard-id mode only)
 //	/healthz      liveness probe (process up)
 //	/readyz       readiness probe (pipeline running and no SLO in breach)
 //
@@ -47,6 +50,21 @@
 // Shut down with SIGINT/SIGTERM; the daemon drains the pipeline (bounded
 // by -shutdown-timeout), writes a final snapshot, and logs the
 // localization outcome.
+//
+// The ingest tier scales horizontally (internal/shard), in three
+// mutually exclusive modes beyond the single-node default:
+//
+//	-shards N        one process runs N relay shards plus lease-elected
+//	                 failover controllers (sharded semantics, single binary)
+//	-shard-id ID     this process is one ingest shard: relay pipeline plus
+//	                 the /shard RPC surface, driven by a -controller process
+//	-controller ...  this process is the merge-and-decide controller for
+//	                 the listed shard endpoints (no packet plane)
+//
+// Multi-process deployments must agree on one attribution matrix: give
+// every process the same -seed and the same -topo-file (written with
+// -topo-write or topo.WriteCAIDA), and share -lease-file across
+// controller replicas so failover is fenced through one lease.
 package main
 
 import (
@@ -77,6 +95,7 @@ import (
 	"spooftrack/internal/probe"
 	"spooftrack/internal/provenance"
 	"spooftrack/internal/sched"
+	"spooftrack/internal/shard"
 	"spooftrack/internal/spoof"
 	"spooftrack/internal/stream"
 	"spooftrack/internal/trace"
@@ -128,8 +147,25 @@ func main() {
 		scrapeEvery   = flag.Duration("scrape-interval", time.Second, "metric history scrape cadence (0 = history engine off: no /query, /dash, windowed or burn-rate SLOs)")
 		dropObjective = flag.Float64("slo-drop-objective", 0.99, "border delivery objective for the drop burn-rate SLO (0..1)")
 		dropBurnSLO   = flag.Float64("slo-drop-burn", 2.0, "drop burn-rate SLO threshold (error-budget multiples)")
+		topoFile      = flag.String("topo-file", "", "load the AS topology from a CAIDA-serialized file instead of generating one; processes sharing a file and -seed build identical worlds")
+		topoWrite     = flag.String("topo-write", "", "serialize the built topology to this file (CAIDA format, loadable with -topo-file) and continue")
+		numShards     = flag.Int("shards", 0, "in-process sharded ingest: N relay shards plus lease-elected failover controllers (0 = single-node pipeline)")
+		shardID       = flag.String("shard-id", "", "run as one ingest shard: relay pipeline plus the /shard RPC surface, driven by an external -controller process")
+		ctrlPeers     = flag.String("controller", "", "run as the sharded-ingest controller for these shards: comma-separated id=http://host:port pairs")
+		ctrlID        = flag.String("controller-id", "", "controller identity for lease election (default ctrl-<pid>)")
+		leaseFile     = flag.String("lease-file", "", "shared leadership lease file for controller failover (empty = in-memory lease, no cross-process failover)")
 	)
 	flag.Parse()
+	modes := 0
+	for _, on := range []bool{*numShards > 0, *shardID != "", *ctrlPeers != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "spooftrackd: -shards, -shard-id, and -controller are mutually exclusive")
+		os.Exit(2)
+	}
 
 	logger, err := newLogger(*logLevel)
 	if err != nil {
@@ -178,6 +214,15 @@ func main() {
 	tp := spooftrack.DefaultGenParams(*seed)
 	tp.NumASes = *ases
 	params.World.Topo = &tp
+	if *topoFile != "" {
+		g, err := loadTopo(*topoFile)
+		if err != nil {
+			slog.Error("topology load failed", "path", *topoFile, "err", err)
+			os.Exit(1)
+		}
+		params.World.Graph = g
+		slog.Info("topology loaded from file (-ases ignored)", "path", *topoFile, "ases", g.NumASes())
+	}
 	params.World.MaxPoisonTargets = *poison
 	params.World.OutcomeCacheCap = *cacheCap
 	params.UseTruth = true
@@ -211,6 +256,13 @@ func main() {
 	platform := tracker.World.Platform
 	slog.Info("offline phase complete",
 		"configs", camp.NumConfigs(), "sources", camp.NumSources(), "links", platform.NumLinks())
+	if *topoWrite != "" {
+		if err := saveTopo(*topoWrite, tracker.World.Graph); err != nil {
+			slog.Error("topology write failed", "path", *topoWrite, "err", err)
+			os.Exit(1)
+		}
+		slog.Info("topology written", "path", *topoWrite)
+	}
 	if len(camp.Incomplete) > 0 {
 		slog.Warn("campaign degraded: some configurations permanently failed; localization proceeds with coarser clusters",
 			"incomplete", camp.Incomplete)
@@ -231,6 +283,36 @@ func main() {
 	// Labeled family (bgp_outcome_cache_requests_total{result}) counted at
 	// the cache itself; the watchdog's hit-rate floor reads it.
 	platform.InstrumentCache(reg)
+
+	// The attribution contract every deployment mode shares: the same
+	// catchment matrix drives the single-node pipeline, the in-process
+	// cluster, a relay shard, and an external controller.
+	attr := stream.Attribution{
+		Catchments: camp.Catchments,
+		SourceASNs: tracker.SourceASNs(),
+		NumLinks:   platform.NumLinks(),
+	}
+
+	// Controller mode runs no packet plane: it is the merge-and-decide
+	// tier for an external set of shard processes.
+	if *ctrlPeers != "" {
+		runController(ctx, controllerArgs{
+			listen:    *listen,
+			id:        *ctrlID,
+			peers:     *ctrlPeers,
+			leaseFile: *leaseFile,
+			attr:      attr,
+			eval:      stream.EvalParams{SplitThreshold: *threshold, MaxOnlineConfigs: *maxConfigs},
+			minRound:  *minRound,
+			interval:  *evalEvery,
+			tracker:   tracker,
+			reg:       reg,
+			tracer:    tracer,
+			led:       led,
+			db:        db,
+		})
+		return
+	}
 
 	// Packet plane on loopback: honeypot behind a border router.
 	hp, err := amp.NewHoneypot("127.0.0.1:0", amp.DefaultHoneypotConfig())
@@ -255,13 +337,40 @@ func main() {
 	// covers the most of them.
 	var remeasureHints atomic.Pointer[[]int]
 
-	// Streaming attribution pipeline, closed onto the border: deploying
-	// a configuration means swapping the live catchment table.
-	pipe, err := stream.New(stream.Attribution{
-		Catchments: camp.Catchments,
-		SourceASNs: tracker.SourceASNs(),
-		NumLinks:   platform.NumLinks(),
-	}, stream.Config{
+	// Per-evaluation callbacks every mode's decision loop consults.
+	// Configurations whose links are quarantined by the circuit breaker
+	// are routed around until the breaker cools down.
+	blockedFn := func() []bool {
+		return sched.QuarantineMask(tracker.Plan, platform.Health().IsQuarantined)
+	}
+	remeasureFn := func() []int {
+		if p := remeasureHints.Load(); p != nil {
+			return *p
+		}
+		return nil
+	}
+	// History-aware recovery: the degraded flag clears only after a
+	// full recovery window with zero shed drops, not merely one quiet
+	// controller tick — a flapping overload holds the flag instead of
+	// strobing /readyz. Without history the controller's own
+	// drained-and-quiet check stands alone.
+	degradedRecovery := func() bool {
+		if db == nil {
+			return true
+		}
+		now := time.Now()
+		delta, _, ok := db.Increase("stream_dropped_total", "", now.Add(-degradedRecoveryWindow), now)
+		return !ok || delta == 0
+	}
+	deployFn := func(cfgIdx int, table map[uint32]uint8) {
+		border.SetCatchments(table)
+		slog.Info("deploy", "config", cfgIdx, "routed_sources", len(table))
+	}
+
+	// Streaming attribution, closed onto the border: deploying a
+	// configuration means swapping the live catchment table. The same
+	// stream.Config drives all three ingest shapes.
+	pipeCfg := stream.Config{
 		Workers:          *workers,
 		EvalInterval:     *evalEvery,
 		SplitThreshold:   *threshold,
@@ -270,54 +379,107 @@ func main() {
 		Settle:           *settle,
 		Metrics:          reg,
 		Shed:             *shed,
-		// History-aware recovery: the degraded flag clears only after a
-		// full recovery window with zero shed drops, not merely one quiet
-		// controller tick — a flapping overload holds the flag instead of
-		// strobing /readyz. Without history the controller's own
-		// drained-and-quiet check stands alone.
-		DegradedRecovery: func() bool {
-			if db == nil {
-				return true
-			}
-			now := time.Now()
-			delta, _, ok := db.Increase("stream_dropped_total", "", now.Add(-degradedRecoveryWindow), now)
-			return !ok || delta == 0
-		},
-		// Configurations whose links are quarantined by the circuit
-		// breaker are routed around until the breaker cools down.
-		Blocked: func() []bool {
-			return sched.QuarantineMask(tracker.Plan, platform.Health().IsQuarantined)
-		},
-		Remeasure: func() []int {
-			if p := remeasureHints.Load(); p != nil {
-				return *p
-			}
-			return nil
-		},
-		Ledger: led,
-		Deploy: func(cfgIdx int, table map[uint32]uint8) {
-			border.SetCatchments(table)
-			slog.Info("deploy", "config", cfgIdx, "routed_sources", len(table))
-		},
-	})
-	if err != nil {
-		slog.Error("pipeline failed", "err", err)
-		os.Exit(1)
+		DegradedRecovery: degradedRecovery,
+		Blocked:          blockedFn,
+		Remeasure:        remeasureFn,
+		Ledger:           led,
+		Deploy:           deployFn,
 	}
-	// The shed/degraded flag as a gauge, so the dashboard and /query see
-	// its history (when it flapped, for how long), not just the current
-	// boolean on /readyz.
-	reg.GaugeFunc("stream_degraded", func() float64 {
-		if pipe.Degraded() {
-			return 1
+	var (
+		pipe *stream.Pipeline
+		node *shard.Node
+		cl   *shard.Cluster
+		dog  *watch.Watchdog
+	)
+	switch {
+	case *shardID != "":
+		// Relay shard: the same pipeline, folded remotely. The external
+		// controller owns evaluation and provenance; this process
+		// accumulates counters, serves /shard/*, and deploys whatever
+		// epoch updates arrive.
+		nodeCfg := pipeCfg
+		nodeCfg.Ledger = nil
+		node, err = shard.NewNode(shard.NodeConfig{
+			ID:   *shardID,
+			Attr: attr,
+			Pipe: nodeCfg,
+			// The membership gate the controller polls on every collect:
+			// an SLO breach or shed-degradation asks to be drained.
+			Ready: func() bool {
+				if dog != nil && !dog.Healthy() {
+					return false
+				}
+				return !node.Pipeline().Degraded()
+			},
+		})
+		if err != nil {
+			slog.Error("shard node failed", "err", err)
+			os.Exit(1)
 		}
-		return 0
-	})
+		pipe = node.Pipeline()
+		slog.Info("running as ingest shard", "id", *shardID)
+	case *numShards > 0:
+		// In-process sharded ingest: relay shards plus failover
+		// controllers in one binary — sharded semantics (epochs, terms,
+		// drain/evict, provable coarsening) without the fleet.
+		cl, err = shard.NewCluster(shard.ClusterConfig{
+			Shards:          *numShards,
+			Attr:            attr,
+			Eval:            stream.EvalParams{SplitThreshold: *threshold, MaxOnlineConfigs: *maxConfigs},
+			MinRoundPackets: *minRound,
+			Pipe: stream.Config{
+				Workers:          *workers,
+				Settle:           *settle,
+				Metrics:          reg,
+				Shed:             *shed,
+				DegradedRecovery: degradedRecovery,
+				Deploy:           deployFn,
+			},
+			Injector:  tracker.Fault,
+			Blocked:   blockedFn,
+			Remeasure: remeasureFn,
+			Ledger:    led,
+			Metrics:   reg,
+		})
+		if err != nil {
+			slog.Error("cluster failed", "err", err)
+			os.Exit(1)
+		}
+		slog.Info("in-process sharded ingest", "shards", *numShards)
+	default:
+		pipe, err = stream.New(attr, pipeCfg)
+		if err != nil {
+			slog.Error("pipeline failed", "err", err)
+			os.Exit(1)
+		}
+	}
+	if pipe != nil {
+		// The shed/degraded flag as a gauge, so the dashboard and /query
+		// see its history (when it flapped, for how long), not just the
+		// current boolean on /readyz.
+		reg.GaugeFunc("stream_degraded", func() float64 {
+			if pipe.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	}
 
-	tap := amp.Tap(func(ev amp.Event) { pipe.Ingest(ev) })
-	if tracker.Fault != nil {
+	var tap amp.Tap
+	switch {
+	case cl != nil:
+		tap = func(ev amp.Event) { cl.Ingest(ev) }
+	case node != nil:
+		tap = func(ev amp.Event) { node.Ingest(ev) }
+	default:
+		tap = func(ev amp.Event) { pipe.Ingest(ev) }
+	}
+	if tracker.Fault != nil && cl == nil {
 		// Event-tap drops ride the same injector: the pipeline sees a
-		// lossy feed, exercising the degradation path end to end.
+		// lossy feed, exercising the degradation path end to end. The
+		// cluster rolls the same fault inside Ingest (keeping the drop
+		// schedule identical at every shard count), so wrapping its tap
+		// too would double-roll it.
 		tap = tracker.Fault.WrapTap(tap)
 	}
 	hp.SetTap(tap)
@@ -372,7 +534,7 @@ func main() {
 
 	// SLO watchdog: flight-record registry snapshots and drop a diagnostic
 	// bundle when the live loop degrades past its objectives.
-	dog := watch.New(watch.Config{
+	dog = watch.New(watch.Config{
 		Registry:  reg,
 		Interval:  *watchEvery,
 		Tracer:    tracer,
@@ -471,17 +633,54 @@ func main() {
 	dog.Start()
 	defer dog.Stop()
 
-	srv := &http.Server{Addr: *listen, Handler: newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health(), pv, led, db)}
+	// The cluster's merge loop: one controller round per tick (election
+	// included — the first tick elects, and a crashed controller's
+	// standby takes over on lease expiry).
+	if cl != nil {
+		go func() {
+			t := time.NewTicker(*evalEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if _, err := cl.Step(false); err != nil {
+						slog.Warn("cluster round failed", "err", err)
+					}
+				}
+			}
+		}()
+	}
+
+	var cv *clusterView
+	if cl != nil {
+		cv = &clusterView{
+			status:  func() shard.ClusterStatus { return cl.Controller().Status() },
+			dropped: cl.Dropped,
+		}
+	}
+	mux := newMux(pipe, reg, tracer, dog, tracker.Fault, platform.Health(), pv, led, db, cv)
+	if node != nil {
+		mux.Handle("/shard/", shard.NodeHandler(node))
+	}
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	httpErr := make(chan error, 1)
 	go func() {
 		slog.Info("http listening", "addr", *listen,
-			"endpoints", "/status /faults /probe /metrics /query /dash /evidence /explain /trace /slo /debug/pprof/ /debug/bundle /healthz /readyz")
+			"endpoints", "/status /faults /probe /metrics /query /dash /evidence /explain /trace /slo /cluster /debug/pprof/ /debug/bundle /healthz /readyz")
 		httpErr <- srv.ListenAndServe()
 	}()
 	slog.Info("packet plane up: point spoofed traffic at the border",
 		"honeypot", hp.Addr().String(), "border", border.Addr().String())
 
 	// Periodic dataset snapshot of the configurations deployed so far.
+	deployedFn := func() []int {
+		if cl != nil {
+			return cl.Controller().Status().DeployedConfigs
+		}
+		return pipe.Deployed()
+	}
 	var snapWG chan struct{}
 	if *snapshotPath != "" {
 		snapWG = make(chan struct{})
@@ -494,7 +693,7 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
+					if err := writeSnapshot(*snapshotPath, camp, deployedFn()); err != nil {
 						slog.Warn("snapshot failed", "err", err)
 					}
 				}
@@ -579,7 +778,22 @@ func main() {
 	go func() {
 		<-attackers
 		hp.SetTap(nil)
-		pipe.Close()
+		switch {
+		case cl != nil:
+			// Sharded drain: wait for every shard to flush its routed
+			// events, fold the final merged round, then stop.
+			if err := cl.Quiesce(*shutdownTO / 2); err != nil {
+				slog.Warn("cluster quiesce incomplete", "err", err)
+			}
+			if _, err := cl.Step(true); err != nil {
+				slog.Warn("final cluster round failed", "err", err)
+			}
+			cl.Close()
+		case node != nil:
+			node.Close()
+		default:
+			pipe.Close()
+		}
 		close(drained)
 	}()
 	select {
@@ -591,13 +805,29 @@ func main() {
 
 	if *snapshotPath != "" {
 		<-snapWG
-		if err := writeSnapshot(*snapshotPath, camp, pipe.Deployed()); err != nil {
+		if err := writeSnapshot(*snapshotPath, camp, deployedFn()); err != nil {
 			slog.Warn("final snapshot failed", "err", err)
 		} else {
 			slog.Info("final snapshot written", "path", *snapshotPath)
 		}
 	}
 
+	if cl != nil {
+		cs := cl.Controller().Status()
+		slog.Info("final cluster state", "leader", cs.Leader, "term", cs.Term,
+			"epoch", cs.Epoch, "rounds", cs.Rounds, "deferred", cs.DeferredRounds,
+			"discarded", cs.DiscardedRounds, "degraded", cs.Degraded,
+			"converged", cs.Converged, "clusters", cs.NumClusters, "candidates", cs.Candidates)
+	}
+	if pipe == nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			slog.Warn("http server error", "err", err)
+		}
+		return
+	}
 	st := pipe.Status(5)
 	slog.Info("final state", "events", st.TotalEvents, "rounds", st.Rounds,
 		"reconfigs", st.Reconfigurations, "converged", st.Converged)
@@ -669,6 +899,15 @@ type probeStatus struct {
 	Audit probe.ChannelAudit `json:"audit"`
 }
 
+// clusterView is what /cluster serves in the sharded modes: the
+// (in-process or external-controller) cluster status, and the cluster's
+// own drop counter for /faults. Nil in single-node and shard-node
+// modes without a local controller.
+type clusterView struct {
+	status  func() shard.ClusterStatus
+	dropped func() int64
+}
+
 // newMux assembles the daemon's HTTP surface: pipeline introspection,
 // metrics, the trace journal, the SLO watchdog (readiness and bundles),
 // fault-injection state, and the standard pprof endpoints. dog may be
@@ -676,17 +915,36 @@ type probeStatus struct {
 // and /debug/bundle report 404); inj and health may be nil (no injector
 // / no platform); pv may be nil (probing off: /probe reports 404); led
 // may be nil (provenance off: /explain reports 404); db may be nil
-// (history off: /query and /dash report 404).
-func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth, pv *probeView, led *provenance.Ledger, db *tsdb.DB) *http.ServeMux {
+// (history off: /query and /dash report 404); pipe may be nil in the
+// sharded controller mode (/status and /evidence point at /cluster);
+// cv may be nil (not sharded: /cluster reports 404).
+func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog *watch.Watchdog, inj *spooftrack.FaultInjector, health *peering.LinkHealth, pv *probeView, led *provenance.Ledger, db *tsdb.DB, cv *clusterView) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if pipe == nil {
+			http.Error(w, "no local pipeline (sharded controller mode; see /cluster)", http.StatusNotFound)
+			return
+		}
 		writeJSON(w, pipe.Status(10))
 	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		if cv == nil {
+			http.Error(w, "not a sharded deployment (-shards / -controller)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cv.status())
+	})
 	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) {
-		fs := faultsStatus{
-			Profile:       "none",
-			Degraded:      pipe.Degraded(),
-			DroppedEvents: pipe.Dropped(),
+		fs := faultsStatus{Profile: "none"}
+		switch {
+		case pipe != nil:
+			fs.Degraded = pipe.Degraded()
+			fs.DroppedEvents = pipe.Dropped()
+		case cv != nil:
+			fs.Degraded = cv.status().Degraded
+			if cv.dropped != nil {
+				fs.DroppedEvents = cv.dropped()
+			}
 		}
 		if inj != nil {
 			st := inj.Stats()
@@ -720,6 +978,10 @@ func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog 
 		_, _ = fmt.Fprint(w, dashHTML)
 	})
 	mux.HandleFunc("/evidence", func(w http.ResponseWriter, r *http.Request) {
+		if pipe == nil {
+			http.Error(w, "no local pipeline (sharded controller mode; see /cluster and /explain)", http.StatusNotFound)
+			return
+		}
 		if pipe.Status(0).Rounds == 0 {
 			http.Error(w, "no rounds folded yet: evidence would list every source as a candidate", http.StatusConflict)
 			return
@@ -824,7 +1086,23 @@ func newMux(pipe *stream.Pipeline, reg *metrics.Registry, tr *trace.Tracer, dog 
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if pipe == nil {
-			http.Error(w, "pipeline not started", http.StatusServiceUnavailable)
+			// Sharded modes without a local pipeline: ready unless the
+			// cluster has latched the degraded (data-loss) flag.
+			if cv == nil {
+				http.Error(w, "pipeline not started", http.StatusServiceUnavailable)
+				return
+			}
+			if cs := cv.status(); cs.Degraded {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_ = json.NewEncoder(w).Encode(map[string]any{
+					"ready":            false,
+					"degraded":         true,
+					"discarded_rounds": cs.DiscardedRounds,
+				})
+				return
+			}
+			fmt.Fprintln(w, "ok")
 			return
 		}
 		if dog != nil && !dog.Healthy() {

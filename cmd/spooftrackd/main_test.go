@@ -50,7 +50,7 @@ func testMuxWatch(t *testing.T, rules []watch.Rule, bundleDir string) (*http.Ser
 		Tracer:    tr,
 		BundleDir: bundleDir,
 	})
-	return newMux(pipe, reg, tr, dog, nil, peering.NewLinkHealth(2, 0, 0), nil, nil, nil), dog
+	return newMux(pipe, reg, tr, dog, nil, peering.NewLinkHealth(2, 0, 0), nil, nil, nil, nil), dog
 }
 
 func get(t *testing.T, mux *http.ServeMux, path string) (*http.Response, string) {
@@ -372,7 +372,7 @@ func TestProbeEndpointNoProber(t *testing.T) {
 func TestProbeEndpointReportsScanAndAudit(t *testing.T) {
 	reg := metrics.NewRegistry()
 	pv := testProbeView(t, reg, false)
-	mux := newMux(nil, reg, nil, nil, nil, nil, pv, nil, nil)
+	mux := newMux(nil, reg, nil, nil, nil, nil, pv, nil, nil, nil)
 	for i := 0; i < 2; i++ {
 		pv.prober.Round(nil)
 	}
@@ -416,7 +416,7 @@ func TestProbeEndpointDegradedUnderStorm(t *testing.T) {
 			For:       1,
 		}},
 	})
-	mux := newMux(nil, reg, nil, dog, nil, nil, pv, nil, nil)
+	mux := newMux(nil, reg, nil, dog, nil, nil, pv, nil, nil, nil)
 	for i := 0; i < 2; i++ {
 		pv.prober.Round(nil)
 	}

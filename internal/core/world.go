@@ -27,6 +27,12 @@ type WorldParams struct {
 	// Topo configures the synthetic Internet; zero value means
 	// topo.DefaultGenParams(Seed).
 	Topo *topo.GenParams
+	// Graph, when non-nil, is used verbatim instead of generating a
+	// topology from Topo — the -topo-file path. Separate processes that
+	// load the same serialized graph (topo.ReadCAIDA) and share Seed
+	// build byte-identical worlds, which is what lets a sharded
+	// deployment agree on one attribution matrix.
+	Graph *topo.Graph
 	// Muxes lists the PoPs to deploy; nil means peering.TableI.
 	Muxes []peering.MuxSpec
 	// Engine configures routing realism; zero value means
@@ -83,13 +89,17 @@ type World struct {
 
 // BuildWorld constructs a world from parameters.
 func BuildWorld(p WorldParams) (*World, error) {
-	tp := topo.DefaultGenParams(p.Seed)
-	if p.Topo != nil {
-		tp = *p.Topo
-	}
-	g, err := topo.Generate(tp)
-	if err != nil {
-		return nil, fmt.Errorf("core: topology: %w", err)
+	g := p.Graph
+	if g == nil {
+		tp := topo.DefaultGenParams(p.Seed)
+		if p.Topo != nil {
+			tp = *p.Topo
+		}
+		var err error
+		g, err = topo.Generate(tp)
+		if err != nil {
+			return nil, fmt.Errorf("core: topology: %w", err)
+		}
 	}
 	ep := bgp.DefaultParams(p.Seed)
 	if p.Engine != nil {

@@ -65,6 +65,20 @@ const (
 	// KindHidden is a source hidden from an otherwise successful
 	// catchment measurement (partial visibility).
 	KindHidden
+	// KindPartition is a blackholed RPC between two sharded-ingest
+	// nodes (controller ↔ shard): the attempt times out and must be
+	// retried. Rolled per ordered node pair and attempt, so retries
+	// heal transient partitions deterministically.
+	KindPartition
+	// KindShardCrash is an ingest shard dying permanently at a round
+	// boundary: its pipeline stops answering and its round counters are
+	// lost, forcing the controller to discard the round and degrade.
+	KindShardCrash
+	// KindSplitBrain is a controller spuriously losing its leadership
+	// lease at renewal — the lease store's answer diverges from the
+	// controller's belief, forcing abdication and re-election at a
+	// higher term.
+	KindSplitBrain
 
 	numKinds
 )
@@ -88,6 +102,12 @@ func (k Kind) String() string {
 		return "latency"
 	case KindHidden:
 		return "hidden_source"
+	case KindPartition:
+		return "partition"
+	case KindShardCrash:
+		return "shard_crash"
+	case KindSplitBrain:
+		return "split_brain"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -324,6 +344,61 @@ func (inj *Injector) Mask(cfgIdx int, m *measure.CatchmentMeasurement) int {
 	return hidden
 }
 
+// Partitioned reports whether the RPC path between two sharded-ingest
+// nodes is blackholed for this attempt. The decision is symmetric (the
+// pair is ordered before hashing: a partition cuts both directions) and
+// salted per attempt, so a controller retrying with backoff heals a
+// transient partition deterministically — the same attempt of the same
+// edge always rolls the same way.
+func (inj *Injector) Partitioned(from, to string, attempt int) bool {
+	p := inj.profile.PrPartition
+	if p <= 0 {
+		return false
+	}
+	a, b := from, to
+	if b < a {
+		a, b = b, a
+	}
+	if inj.roll(KindPartition, a+"|"+b, uint64(attempt)) < p {
+		inj.count(KindPartition)
+		return true
+	}
+	return false
+}
+
+// ShardCrash reports whether ingest shard node crashes permanently at
+// the given round boundary. Unlike a partition the decision is not
+// salted per attempt: once a shard has crashed it stays dead, so the
+// controller's retries exhaust and the round is discarded.
+func (inj *Injector) ShardCrash(node string, round int) bool {
+	p := inj.profile.PrShardCrash
+	if p <= 0 {
+		return false
+	}
+	if inj.roll(KindShardCrash, node, uint64(round)) < p {
+		inj.count(KindShardCrash)
+		return true
+	}
+	return false
+}
+
+// SplitBrain reports whether the lease holder spuriously loses its
+// leadership lease when renewing at the given term — the injected
+// moment where the controller's belief and the lease store diverge.
+// Fenced terms turn this into a clean abdication + re-election instead
+// of two live controllers.
+func (inj *Injector) SplitBrain(holder string, term uint64) bool {
+	p := inj.profile.PrSplitBrain
+	if p <= 0 {
+		return false
+	}
+	if inj.roll(KindSplitBrain, holder, term) < p {
+		inj.count(KindSplitBrain)
+		return true
+	}
+	return false
+}
+
 // Count returns how many faults of the kind have been injected.
 func (inj *Injector) Count(k Kind) int64 {
 	if k < 0 || k >= numKinds {
@@ -340,14 +415,14 @@ type Stats struct {
 	Counts  map[string]int64 `json:"injected"`
 }
 
-// Stats snapshots the injector: profile, seed, and non-zero per-kind
-// injection counts.
+// Stats snapshots the injector: profile, seed, and per-kind injection
+// counts. Every registered kind is listed, including ones with zero
+// injections, so operators can see which fault classes exist (and are
+// armed but quiet) before the first trigger.
 func (inj *Injector) Stats() Stats {
-	s := Stats{Profile: inj.profile.Name, Seed: inj.seed, Counts: make(map[string]int64)}
+	s := Stats{Profile: inj.profile.Name, Seed: inj.seed, Counts: make(map[string]int64, numKinds)}
 	for k := Kind(0); k < numKinds; k++ {
-		if n := inj.counts[k].Load(); n != 0 {
-			s.Counts[k.String()] = n
-		}
+		s.Counts[k.String()] = inj.counts[k].Load()
 	}
 	return s
 }

@@ -42,6 +42,17 @@ type Profile struct {
 	// HideVisibility is the fraction of observed sources hidden from an
 	// otherwise successful catchment measurement.
 	HideVisibility float64 `json:"hide_visibility,omitempty"`
+	// PrPartition is the per-attempt probability an RPC between two
+	// sharded-ingest nodes is blackholed (retries re-roll and heal
+	// transient partitions).
+	PrPartition float64 `json:"pr_partition,omitempty"`
+	// PrShardCrash is the per-round probability an ingest shard dies
+	// permanently at a round boundary.
+	PrShardCrash float64 `json:"pr_shard_crash,omitempty"`
+	// PrSplitBrain is the per-term probability the controller spuriously
+	// loses its leadership lease at renewal, forcing abdication and a
+	// fenced re-election.
+	PrSplitBrain float64 `json:"pr_split_brain,omitempty"`
 }
 
 // builtins are the named scenario profiles, ordered mild to severe.
@@ -77,6 +88,12 @@ var builtins = []Profile{
 		Desc:         "active spoof probes are mostly lost and the survivors crawl",
 		PrProbeLoss:  0.85,
 		ProbeLatency: 20 * time.Microsecond,
+	},
+	{
+		Name:         "netsplit",
+		Desc:         "the ingest tier partitions: shard RPCs blackhole and the controller lease flaps",
+		PrPartition:  0.35,
+		PrSplitBrain: 0.20,
 	},
 	{
 		Name:           "chaos",

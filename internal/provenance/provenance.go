@@ -62,6 +62,12 @@ const (
 	// KindVerdict records the attribution verdict after a fold (or the
 	// campaign's final partition).
 	KindVerdict Kind = "verdict"
+	// KindMembership records a sharded-ingest membership transition
+	// (shard joined, drained, evicted, or restored).
+	KindMembership Kind = "membership"
+	// KindFailover records a controller leadership transition: a lease
+	// acquired at a new term, an abdication, or a failover recovery.
+	KindFailover Kind = "failover"
 )
 
 // Event is one ledger entry: a global sequence number, a wall-clock
@@ -82,6 +88,8 @@ type Event struct {
 	Round      *RoundEvent      `json:"round,omitempty"`
 	Reconfig   *ReconfigEvent   `json:"reconfig,omitempty"`
 	Verdict    *VerdictEvent    `json:"verdict,omitempty"`
+	Membership *MembershipEvent `json:"membership,omitempty"`
+	Failover   *FailoverEvent   `json:"failover,omitempty"`
 }
 
 // MetaEvent opens a component's stream of events and fixes the
@@ -223,6 +231,38 @@ type VerdictEvent struct {
 	Clusters int     `json:"clusters"`
 	// Converged mirrors the controller's convergence flag.
 	Converged bool `json:"converged,omitempty"`
+}
+
+// MembershipEvent records one sharded-ingest membership transition —
+// the ledger's answer to "why is localization coarser than expected":
+// a drained shard re-hashes its sources onto the survivors with no data
+// loss, an evicted one forces discarded rounds and an explicit
+// coarsening.
+type MembershipEvent struct {
+	// Node is the shard's id.
+	Node string `json:"node"`
+	// Action is "join", "drain" (SLO-breaching but reachable: final
+	// harvest collected, range re-hashed), "evict" (unreachable past the
+	// retry budget: rounds discarded), or "restore" (re-applied state
+	// after failover recovery).
+	Action string `json:"action"`
+	Epoch  int64  `json:"epoch"`
+	Term   uint64 `json:"term,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// FailoverEvent records a controller leadership transition.
+type FailoverEvent struct {
+	// Action is "elect" (lease acquired at a new term), "abdicate"
+	// (lease renewal failed), or "recover" (evaluator state restored
+	// from the highest-epoch shard snapshot after election).
+	Action string `json:"action"`
+	Leader string `json:"leader"`
+	Term   uint64 `json:"term"`
+	Epoch  int64  `json:"epoch,omitempty"`
+	// Rounds is the number of folded rounds recovered (action "recover").
+	Rounds int    `json:"rounds,omitempty"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // Options configures a Ledger.
@@ -386,6 +426,22 @@ func (l *Ledger) RecordVerdict(v VerdictEvent) {
 	v.Candidates = append([]int(nil), v.Candidates...)
 	v.Assign = append([]int32(nil), v.Assign...)
 	l.append(Event{Kind: KindVerdict, Verdict: &v})
+}
+
+// RecordMembership appends a sharded-ingest membership transition.
+func (l *Ledger) RecordMembership(m MembershipEvent) {
+	if l == nil {
+		return
+	}
+	l.append(Event{Kind: KindMembership, Membership: &m})
+}
+
+// RecordFailover appends a controller leadership transition.
+func (l *Ledger) RecordFailover(f FailoverEvent) {
+	if l == nil {
+		return
+	}
+	l.append(Event{Kind: KindFailover, Failover: &f})
 }
 
 // Len returns the number of recorded events.

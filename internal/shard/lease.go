@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"spooftrack/internal/fault"
+)
+
+// Lease is one leadership grant: who holds it, at which monotonic term,
+// and until when. Terms only ever increase — every new acquisition
+// bumps the term, and shards fence RPCs on it — so two controllers can
+// never both act at the same term.
+type Lease struct {
+	Holder  string    `json:"holder"`
+	Term    uint64    `json:"term"`
+	Expires time.Time `json:"expires"`
+}
+
+// LeaseStore is the controller-election substrate: a single lease with
+// compare-and-swap semantics. Implementations must guarantee term
+// monotonicity; they do not need to guarantee liveness (an expired
+// lease simply lets the next Acquire win).
+type LeaseStore interface {
+	// Acquire takes the lease if it is free, expired, or already held by
+	// this holder, returning the granted lease (with a freshly bumped
+	// term) and true. Otherwise it returns the current lease and false.
+	Acquire(holder string, ttl time.Duration) (Lease, bool)
+	// Renew extends the lease iff holder still owns it at term.
+	Renew(holder string, term uint64, ttl time.Duration) bool
+	// Release gives the lease up iff holder owns it at term (clean
+	// shutdown hands leadership over without waiting for expiry).
+	Release(holder string, term uint64)
+	// Current returns the lease as last observed.
+	Current() Lease
+}
+
+// MemLease is the in-process lease store used by in-process clusters
+// and the chaos harness: an injectable clock makes expiry deterministic
+// in tests, and an optional fault injector models split-brain — the
+// moment a renewal spuriously fails even though the controller believes
+// it is leading, forcing a fenced re-election.
+type MemLease struct {
+	mu  sync.Mutex
+	cur Lease
+	now func() time.Time
+	inj *fault.Injector
+}
+
+// NewMemLease builds an in-memory lease store on the wall clock.
+func NewMemLease() *MemLease {
+	return &MemLease{now: time.Now}
+}
+
+// SetClock replaces the clock (tests).
+func (m *MemLease) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	m.now = now
+	m.mu.Unlock()
+}
+
+// SetInjector arms the split-brain fault: renewals roll
+// fault.Injector.SplitBrain and a hit invalidates the lease.
+func (m *MemLease) SetInjector(inj *fault.Injector) {
+	m.mu.Lock()
+	m.inj = inj
+	m.mu.Unlock()
+}
+
+// Acquire implements LeaseStore.
+func (m *MemLease) Acquire(holder string, ttl time.Duration) (Lease, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	if m.cur.Holder == "" || !now.Before(m.cur.Expires) || m.cur.Holder == holder {
+		m.cur = Lease{Holder: holder, Term: m.cur.Term + 1, Expires: now.Add(ttl)}
+		return m.cur, true
+	}
+	return m.cur, false
+}
+
+// Renew implements LeaseStore. Split-brain injection lands here: the
+// injected failure expires the lease, so the holder abdicates and the
+// next acquisition (by anyone) is fenced at a higher term.
+func (m *MemLease) Renew(holder string, term uint64, ttl time.Duration) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cur.Holder != holder || m.cur.Term != term {
+		return false
+	}
+	if m.inj != nil && m.inj.SplitBrain(holder, term) {
+		m.cur.Expires = m.now()
+		return false
+	}
+	m.cur.Expires = m.now().Add(ttl)
+	return true
+}
+
+// Release implements LeaseStore.
+func (m *MemLease) Release(holder string, term uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cur.Holder == holder && m.cur.Term == term {
+		m.cur.Expires = m.now()
+	}
+}
+
+// Current implements LeaseStore.
+func (m *MemLease) Current() Lease {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// FileLease is a lease file shared by cooperating processes on one host
+// — the multi-process demo's election substrate. Writes go through a
+// temp file + atomic rename and are verified by re-reading, which is
+// enough mutual exclusion for processes that poll at lease-TTL
+// granularity (it is not a distributed lock manager and does not
+// pretend to be one).
+type FileLease struct {
+	path string
+	now  func() time.Time
+}
+
+// NewFileLease builds a lease store over the given file path.
+func NewFileLease(path string) *FileLease {
+	return &FileLease{path: path, now: time.Now}
+}
+
+func (f *FileLease) read() Lease {
+	var l Lease
+	b, err := os.ReadFile(f.path)
+	if err != nil {
+		return Lease{}
+	}
+	if json.Unmarshal(b, &l) != nil {
+		return Lease{}
+	}
+	return l
+}
+
+func (f *FileLease) write(l Lease) error {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", f.path, os.Getpid())
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Acquire implements LeaseStore.
+func (f *FileLease) Acquire(holder string, ttl time.Duration) (Lease, bool) {
+	cur := f.read()
+	now := f.now()
+	if cur.Holder != "" && now.Before(cur.Expires) && cur.Holder != holder {
+		return cur, false
+	}
+	want := Lease{Holder: holder, Term: cur.Term + 1, Expires: now.Add(ttl)}
+	if err := f.write(want); err != nil {
+		return cur, false
+	}
+	// Verify: another process may have renamed over ours between write
+	// and now; whoever's rename landed last owns the lease.
+	got := f.read()
+	return got, got.Holder == holder && got.Term == want.Term
+}
+
+// Renew implements LeaseStore.
+func (f *FileLease) Renew(holder string, term uint64, ttl time.Duration) bool {
+	cur := f.read()
+	if cur.Holder != holder || cur.Term != term {
+		return false
+	}
+	cur.Expires = f.now().Add(ttl)
+	if f.write(cur) != nil {
+		return false
+	}
+	got := f.read()
+	return got.Holder == holder && got.Term == term
+}
+
+// Release implements LeaseStore.
+func (f *FileLease) Release(holder string, term uint64) {
+	cur := f.read()
+	if cur.Holder == holder && cur.Term == term {
+		cur.Expires = f.now()
+		_ = f.write(cur)
+	}
+}
+
+// Current implements LeaseStore.
+func (f *FileLease) Current() Lease { return f.read() }
+
+// Dir ensures the lease file's directory exists (demo convenience).
+func (f *FileLease) Dir() error {
+	return os.MkdirAll(filepath.Dir(f.path), 0o755)
+}

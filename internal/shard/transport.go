@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"spooftrack/internal/fault"
+)
+
+// Transport carries the controller's three RPCs to a shard node by id.
+// Implementations: LocalTransport (in-process, with injected partition
+// faults — the chaos harness), HTTPTransport (multi-process, JSON over
+// HTTP — cmd/spooftrackd and examples/sharded-ingest).
+type Transport interface {
+	Collect(node string, req CollectRequest) (CollectResponse, error)
+	Apply(node string, u EpochUpdate) (ApplyResponse, error)
+	Hello(node string, req HelloRequest) (HelloResponse, error)
+}
+
+// RetryPolicy is the deterministic retry/backoff schedule applied to
+// every controller RPC: Attempts tries, exponential backoff from Base
+// doubling up to Max. The schedule is a pure function of the attempt
+// number — no randomized jitter — so a chaos run's RPC timeline is
+// reproducible; the fault injector's per-attempt rolls provide the
+// decorrelation jitter would.
+type RetryPolicy struct {
+	Attempts int
+	Base     time.Duration
+	Max      time.Duration
+}
+
+func (rp *RetryPolicy) setDefaults() {
+	if rp.Attempts <= 0 {
+		rp.Attempts = 8
+	}
+	if rp.Base <= 0 {
+		rp.Base = time.Millisecond
+	}
+	if rp.Max <= 0 {
+		rp.Max = 100 * time.Millisecond
+	}
+}
+
+// Backoff returns the sleep before the given retry (attempt 1 is the
+// first retry).
+func (rp RetryPolicy) Backoff(attempt int) time.Duration {
+	d := rp.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= rp.Max {
+			return rp.Max
+		}
+	}
+	if d > rp.Max {
+		return rp.Max
+	}
+	return d
+}
+
+// Retryable reports whether an RPC error is worth another attempt: term
+// fencing is permanent, everything else (partitions, crashes, transport
+// failures) re-rolls.
+func Retryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrStaleTerm)
+}
+
+// LocalTransport is the in-process transport: nodes registered by id,
+// RPCs delivered as method calls, with the fault injector deciding
+// per-edge per-attempt partitions and an explicit isolation switch for
+// permanent netsplits. It is the chaos harness's network.
+type LocalTransport struct {
+	mu       sync.Mutex
+	nodes    map[string]*Node
+	inj      *fault.Injector
+	isolated map[string]bool
+	attempts map[string]int
+}
+
+// NewLocalTransport builds an in-process transport. inj may be nil (no
+// injected partitions).
+func NewLocalTransport(inj *fault.Injector) *LocalTransport {
+	return &LocalTransport{
+		nodes:    make(map[string]*Node),
+		inj:      inj,
+		isolated: make(map[string]bool),
+		attempts: make(map[string]int),
+	}
+}
+
+// Register adds a node to the transport.
+func (t *LocalTransport) Register(n *Node) {
+	t.mu.Lock()
+	t.nodes[n.ID()] = n
+	t.mu.Unlock()
+}
+
+// Isolate switches a permanent partition for the node on or off — the
+// injected-probability partitions heal on retry; this one does not
+// until switched back.
+func (t *LocalTransport) Isolate(node string, on bool) {
+	t.mu.Lock()
+	t.isolated[node] = on
+	t.mu.Unlock()
+}
+
+// edge resolves the node and rolls this attempt's partition fault.
+func (t *LocalTransport) edge(node string) (*Node, error) {
+	t.mu.Lock()
+	n := t.nodes[node]
+	iso := t.isolated[node]
+	t.attempts[node]++
+	attempt := t.attempts[node]
+	inj := t.inj
+	t.mu.Unlock()
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s not registered", ErrUnavailable, node)
+	}
+	if iso {
+		return nil, fmt.Errorf("%w: %s isolated", ErrPartitioned, node)
+	}
+	if inj != nil && inj.Partitioned("controller", node, attempt) {
+		return nil, fmt.Errorf("%w: controller->%s attempt %d", ErrPartitioned, node, attempt)
+	}
+	return n, nil
+}
+
+// Collect implements Transport.
+func (t *LocalTransport) Collect(node string, req CollectRequest) (CollectResponse, error) {
+	n, err := t.edge(node)
+	if err != nil {
+		return CollectResponse{}, err
+	}
+	return n.HandleCollect(req)
+}
+
+// Apply implements Transport.
+func (t *LocalTransport) Apply(node string, u EpochUpdate) (ApplyResponse, error) {
+	n, err := t.edge(node)
+	if err != nil {
+		return ApplyResponse{}, err
+	}
+	return n.HandleApply(u)
+}
+
+// Hello implements Transport.
+func (t *LocalTransport) Hello(node string, req HelloRequest) (HelloResponse, error) {
+	n, err := t.edge(node)
+	if err != nil {
+		return HelloResponse{}, err
+	}
+	return n.HandleHello(req)
+}

@@ -3,7 +3,6 @@ package stream
 import (
 	"time"
 
-	"spooftrack/internal/bgp"
 	"spooftrack/internal/provenance"
 	"spooftrack/internal/sched"
 	"spooftrack/internal/trace"
@@ -78,137 +77,84 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	} else {
 		st.lastDropped = d
 	}
+	if p.cfg.Relay {
+		// Relay mode: the sharded-ingest controller owns folding and
+		// deployment (HarvestRound / AdvanceEpoch); local evaluation
+		// stops at overload-recovery bookkeeping.
+		p.mu.Unlock()
+		return
+	}
 	if roundPackets == 0 || (!final && roundPackets < p.cfg.MinRoundPackets) {
 		p.mu.Unlock()
 		return
 	}
 	esp := trace.StartChild(parent, "stream.eval")
 
-	// Fold the round: localizer misses, cluster refinement, history.
-	// Links below the noise floor are treated as silent so that a
-	// handful of packets straggling across a reconfiguration (stamped
-	// under the previous catchment table) cannot keep a cluster alive.
-	volumes := make([]float64, len(st.roundPkts))
-	floor := p.cfg.NoiseFloor * float64(roundPackets)
-	for l, n := range st.roundPkts {
-		if v := float64(n); v > floor {
-			volumes[l] = v
-		}
-	}
-	cur := st.current
-	st.loc.AddRound(p.attr.Catchments[cur], volumes)
-	st.part.Refine(p.attr.Catchments[cur])
-	st.candidates = st.loc.Candidates(p.cfg.MaxMisses)
+	// Fold the round and decide the next deployment — the Evaluator is
+	// the shared fold-and-decide core (also run by internal/shard's
+	// controller over merged per-shard counters). With the ledger on,
+	// the scored greedy variant captures the candidate set the chosen
+	// configuration beat.
+	led := p.cfg.Ledger
+	out := st.eval.Step(st.roundPkts, final, blocked, hints, led.Enabled())
 
-	m := st.part.Summarize()
 	roundBytes := int64(0)
 	for _, n := range st.roundBytes {
 		roundBytes += n
 	}
 	rec := RoundRecord{
-		Config:      cur,
+		Config:      out.Config,
 		Started:     st.roundStart,
 		Ended:       time.Now(),
 		Packets:     roundPackets,
 		Bytes:       roundBytes,
-		Volumes:     volumes,
-		NumClusters: m.NumClusters,
-		MeanSize:    m.MeanSize,
-		Candidates:  len(st.candidates),
+		Volumes:     out.Volumes,
+		NumClusters: out.Clusters,
+		MeanSize:    out.MeanSize,
+		Candidates:  out.Candidates,
 	}
 	st.history = append(st.history, rec)
 	p.mRounds.Inc()
-	p.mClusters.Set(float64(m.NumClusters))
-	p.mMeanSize.Set(m.MeanSize)
-	p.mCands.Set(float64(len(st.candidates)))
+	p.mClusters.Set(float64(out.Clusters))
+	p.mMeanSize.Set(out.MeanSize)
+	p.mCands.Set(float64(out.Candidates))
 
-	led := p.cfg.Ledger
-	round := len(st.history)
 	led.RecordRound(provenance.RoundEvent{
-		Round:      round,
-		Config:     cur,
+		Round:      out.Round,
+		Config:     out.Config,
 		Packets:    roundPackets,
-		Volumes:    volumes,
-		Clusters:   m.NumClusters,
-		Candidates: len(st.candidates),
+		Volumes:    out.Volumes,
+		Clusters:   out.Clusters,
+		Candidates: out.Candidates,
 	})
-
-	// Volume-ranked clusters: estimate per-source volume by splitting
-	// each link's round volume evenly across the candidates it hosts
-	// (§III-C attribution at round granularity), then find the heaviest
-	// candidate cluster still above the split threshold.
-	estVol := p.estimateVolumesLocked(volumes)
-	topID, topSize := p.topVolumeClusterLocked(estVol)
-
-	// The loop is done when the heaviest cluster is small enough, or
-	// when no remaining configuration separates its members — clusters
-	// bound localization precision (§V), so deploying further would
-	// burn configurations without refining anything.
-	canSplit := false
-	if topSize > p.cfg.SplitThreshold {
-		canSplit = p.splittableLocked(st.part.MembersOf(topID))
+	switch {
+	case out.Deploy >= 0 && out.Reason == "split":
+		p.mReconfig.Inc()
+		led.RecordReconfig(provenance.ReconfigEvent{
+			Round:   out.Round,
+			Chosen:  out.Deploy,
+			Reason:  "split",
+			Beaten:  candidateScores(out.Scores),
+			Blocked: blockedConfigs(blocked),
+		})
+	case out.Deploy >= 0 && out.Reason == "remeasure":
+		p.mRemeasure.Inc()
+		led.RecordReconfig(provenance.ReconfigEvent{
+			Round:   out.Round,
+			Chosen:  out.Deploy,
+			Reason:  "remeasure",
+			Blocked: blockedConfigs(blocked),
+			Hints:   append([]int(nil), hints...),
+		})
 	}
-	var deployIdx = -1
-	budgetLeft := p.cfg.MaxOnlineConfigs == 0 || len(st.deployed)-1 < p.cfg.MaxOnlineConfigs
-	if !final && canSplit && budgetLeft {
-		// Quarantined configurations are routed around, not consumed:
-		// if every useful configuration is blocked the loop simply waits
-		// (converged stays false) and retries them once their links heal.
-		// With the ledger on, the scored variant captures the full
-		// candidate set the chosen configuration beat.
-		var next int
-		var scores []sched.ConfigScore
-		if led.Enabled() {
-			next, scores = sched.NextGreedyVolumeScored(st.part, p.attr.Catchments, estVol, st.used, blocked)
-		} else {
-			next = sched.NextGreedyVolumeMasked(st.part, p.attr.Catchments, estVol, st.used, blocked)
-		}
-		if next >= 0 {
-			st.used[next] = true
-			st.current = next
-			st.deployed = append(st.deployed, next)
-			deployIdx = next
-			p.mReconfig.Inc()
-			led.RecordReconfig(provenance.ReconfigEvent{
-				Round:   round,
-				Chosen:  next,
-				Reason:  "split",
-				Beaten:  candidateScores(scores),
-				Blocked: blockedConfigs(blocked),
-			})
-		}
-	}
-	// Probe-conflict re-measurement: when no split is pending but the
-	// probe channel disagrees with the catchment evidence for some
-	// sources, spend the round re-observing them under the unused
-	// configuration that covers the most conflicted sources. This feeds
-	// probe.Audit's conflict set back into live measurement instead of
-	// leaving the disagreement standing.
-	if deployIdx < 0 && !final && budgetLeft && len(hints) > 0 {
-		if next := sched.NextRemeasure(p.attr.Catchments, hints, st.used, blocked); next >= 0 {
-			st.used[next] = true
-			st.current = next
-			st.deployed = append(st.deployed, next)
-			deployIdx = next
-			p.mRemeasure.Inc()
-			led.RecordReconfig(provenance.ReconfigEvent{
-				Round:   round,
-				Chosen:  next,
-				Reason:  "remeasure",
-				Blocked: blockedConfigs(blocked),
-				Hints:   append([]int(nil), hints...),
-			})
-		}
-	}
-	st.converged = topSize >= 0 && !canSplit
 	if led.Enabled() {
 		led.RecordVerdict(provenance.VerdictEvent{
 			Origin:     "stream",
-			Round:      round,
-			Candidates: st.candidates,
-			Assign:     st.part.Assignments(),
-			Clusters:   m.NumClusters,
-			Converged:  st.converged,
+			Round:      out.Round,
+			Candidates: st.eval.candidates,
+			Assign:     st.eval.part.Assignments(),
+			Clusters:   out.Clusters,
+			Converged:  out.Converged,
 		})
 	}
 
@@ -224,91 +170,24 @@ func (p *Pipeline) evaluate(final bool, parent *trace.Span) {
 	st.epoch++
 	p.epoch.Store(st.epoch)
 	st.roundStart = time.Now()
-	if deployIdx >= 0 && p.cfg.Settle > 0 {
+	if out.Deploy >= 0 && p.cfg.Settle > 0 {
 		p.settleUntil.Store(time.Now().Add(p.cfg.Settle).UnixNano())
 	}
 	p.mu.Unlock()
 
-	if deployIdx >= 0 && p.cfg.Deploy != nil {
-		p.cfg.Deploy(deployIdx, p.table(deployIdx))
+	if out.Deploy >= 0 && p.cfg.Deploy != nil {
+		p.cfg.Deploy(out.Deploy, p.table(out.Deploy))
 	}
 	p.hEval.Observe(time.Since(t0).Seconds())
 	if esp != nil {
 		esp.Count("round_packets", roundPackets)
-		esp.Count("clusters", int64(m.NumClusters))
+		esp.Count("clusters", int64(out.Clusters))
 		esp.Count("candidates", int64(rec.Candidates))
-		if deployIdx >= 0 {
-			esp.Set(trace.Int("deploy_config", int64(deployIdx)))
+		if out.Deploy >= 0 {
+			esp.Set(trace.Int("deploy_config", int64(out.Deploy)))
 		}
 		esp.End()
 	}
-}
-
-// estimateVolumesLocked attributes the round's per-link volume to
-// sources: each candidate whose current catchment is link l gets an
-// equal share of volumes[l]; eliminated sources get zero. Caller holds
-// p.mu.
-func (p *Pipeline) estimateVolumesLocked(volumes []float64) []float64 {
-	st := &p.st
-	row := p.attr.Catchments[st.current]
-	onLink := make([]int, len(volumes))
-	for _, k := range st.candidates {
-		if l := row[k]; l != bgp.NoLink && int(l) < len(onLink) {
-			onLink[l]++
-		}
-	}
-	est := make([]float64, len(row))
-	for _, k := range st.candidates {
-		if l := row[k]; l != bgp.NoLink && int(l) < len(volumes) && onLink[l] > 0 {
-			est[k] = volumes[l] / float64(onLink[l])
-		}
-	}
-	return est
-}
-
-// topVolumeClusterLocked returns the candidate cluster carrying the
-// most estimated volume and its size, or (-1, -1) when no candidate
-// carries volume. Caller holds p.mu.
-func (p *Pipeline) topVolumeClusterLocked(estVol []float64) (clusterID, size int) {
-	st := &p.st
-	volByCluster := make(map[int]float64)
-	for _, k := range st.candidates {
-		if estVol[k] > 0 {
-			volByCluster[st.part.ClusterOf(k)] += estVol[k]
-		}
-	}
-	best, bestVol := -1, 0.0
-	for c, v := range volByCluster {
-		if best == -1 || v > bestVol || (v == bestVol && c < best) {
-			best, bestVol = c, v
-		}
-	}
-	if best == -1 {
-		return -1, -1
-	}
-	return best, len(st.part.MembersOf(best))
-}
-
-// splittableLocked reports whether any unused configuration maps the
-// given cluster members to more than one ingress link — i.e. whether
-// further refinement of that cluster is possible at all. Caller holds
-// p.mu.
-func (p *Pipeline) splittableLocked(members []int) bool {
-	if len(members) < 2 {
-		return false
-	}
-	for cfg, row := range p.attr.Catchments {
-		if p.st.used[cfg] {
-			continue
-		}
-		first := row[members[0]]
-		for _, k := range members[1:] {
-			if row[k] != first {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // candidateScores converts the scheduler's candidate scores to the

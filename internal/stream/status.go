@@ -73,17 +73,17 @@ func (p *Pipeline) Status(topN int) Status {
 	s := Status{
 		UptimeSec:        now.Sub(p.start).Seconds(),
 		Workers:          p.cfg.Workers,
-		CurrentConfig:    st.current,
-		DeployedConfigs:  append([]int(nil), st.deployed...),
-		Reconfigurations: len(st.deployed) - 1,
+		CurrentConfig:    st.eval.current,
+		DeployedConfigs:  append([]int(nil), st.eval.deployed...),
+		Reconfigurations: len(st.eval.deployed) - 1,
 		Rounds:           len(st.history),
 		TotalEvents:      st.total,
 		TotalBytes:       st.totalBytes,
-		NumSources:       st.part.NumSources(),
-		NumClusters:      st.part.NumClusters(),
-		MeanClusterSize:  st.part.Summarize().MeanSize,
-		Candidates:       len(st.candidates),
-		Converged:        st.converged,
+		NumSources:       st.eval.part.NumSources(),
+		NumClusters:      st.eval.part.NumClusters(),
+		MeanClusterSize:  st.eval.part.Summarize().MeanSize,
+		Candidates:       len(st.eval.candidates),
+		Converged:        st.eval.converged,
 		Degraded:         p.degraded.Load(),
 		DroppedEvents:    p.droppedN.Load(),
 		History:          append([]RoundRecord(nil), st.history...),
@@ -112,16 +112,16 @@ func (p *Pipeline) Status(topN int) Status {
 	for l, n := range st.roundPkts {
 		volumes[l] = float64(n)
 	}
-	est := p.estimateVolumesLocked(volumes)
-	for _, k := range st.candidates {
+	est := st.eval.estimateVolumes(volumes)
+	for _, k := range st.eval.candidates {
 		if est[k] <= 0 {
 			continue
 		}
-		cl := st.part.ClusterOf(k)
+		cl := st.eval.part.ClusterOf(k)
 		as := AttributedSource{
 			ASN:         p.attr.SourceASNs[k],
 			Cluster:     cl,
-			ClusterSize: st.part.SizeOfSource(k),
+			ClusterSize: st.eval.part.SizeOfSource(k),
 		}
 		if totalRound > 0 {
 			as.VolumeShare = est[k] / totalRound
@@ -159,14 +159,14 @@ func (p *Pipeline) Status(topN int) Status {
 func (p *Pipeline) Candidates() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]int(nil), p.st.candidates...)
+	return append([]int(nil), p.st.eval.candidates...)
 }
 
 // Deployed returns the configurations deployed so far, in order.
 func (p *Pipeline) Deployed() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]int(nil), p.st.deployed...)
+	return append([]int(nil), p.st.eval.deployed...)
 }
 
 // History returns the completed rounds.
@@ -181,7 +181,7 @@ func (p *Pipeline) History() []RoundRecord {
 func (p *Pipeline) Converged() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.st.converged
+	return p.st.eval.converged
 }
 
 // Evidence assembles the operator notification report (internal/report)
@@ -190,8 +190,8 @@ func (p *Pipeline) Converged() bool {
 func (p *Pipeline) Evidence() (*report.Report, error) {
 	p.mu.Lock()
 	history := append([]RoundRecord(nil), p.st.history...)
-	candidates := append([]int(nil), p.st.candidates...)
-	part := p.st.part.Clone()
+	candidates := append([]int(nil), p.st.eval.candidates...)
+	part := p.st.eval.part.Clone()
 	p.mu.Unlock()
 
 	in := report.Input{

@@ -31,10 +31,8 @@ import (
 
 	"spooftrack/internal/amp"
 	"spooftrack/internal/bgp"
-	"spooftrack/internal/cluster"
 	"spooftrack/internal/metrics"
 	"spooftrack/internal/provenance"
-	"spooftrack/internal/spoof"
 	"spooftrack/internal/topo"
 	"spooftrack/internal/trace"
 )
@@ -103,6 +101,13 @@ type Config struct {
 	// tracked but not materialized (useful in tests feeding Ingest
 	// directly).
 	Deploy DeployFunc
+	// Relay runs the pipeline as a sharded-ingest relay (internal/shard):
+	// workers still batch and flush per-link round counters, but the
+	// local controller never folds or deploys — a remote controller
+	// harvests the counters (HarvestRound) and advances epochs
+	// (AdvanceEpoch) instead. Overload shedding, degraded recovery, and
+	// queue metrics keep working; localization state stays empty.
+	Relay bool
 	// Shed switches intake from backpressure to overload shedding: when
 	// a shard's queue is full, Ingest drops the event instead of
 	// blocking, counts it (stream_dropped_total), and raises the
@@ -168,11 +173,9 @@ func (c *Config) setDefaults() {
 	if c.MinRoundPackets <= 0 {
 		c.MinRoundPackets = 50
 	}
-	if c.NoiseFloor == 0 {
-		c.NoiseFloor = 0.02
-	} else if c.NoiseFloor < 0 {
-		c.NoiseFloor = 0
-	}
+	// NoiseFloor is left as-is: EvalParams.setDefaults resolves the
+	// 0-means-default / negative-means-disabled convention, so the
+	// Pipeline and the sharded controller resolve it identically.
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
@@ -264,11 +267,7 @@ type Pipeline struct {
 // Pipeline.mu (workers touch it only inside flush).
 type loopState struct {
 	epoch      int64
-	current    int
-	deployed   []int
-	used       []bool
-	part       *cluster.Partition
-	loc        *spoof.IncrementalLocalizer
+	eval       *Evaluator
 	roundPkts  []int64
 	roundBytes []int64
 	roundStart time.Time
@@ -277,8 +276,6 @@ type loopState struct {
 	totalBytes int64
 	settled    int64 // events excluded from rounds while settling
 	history    []RoundRecord
-	candidates []int
-	converged  bool
 	// lastDropped is the shed counter at the previous evaluation; the
 	// degraded flag clears when it stops moving and queues are drained.
 	lastDropped int64
@@ -348,18 +345,17 @@ func New(attr Attribution, cfg Config) (*Pipeline, error) {
 	}
 
 	p.st = loopState{
-		current:    attr.InitialConfig,
-		deployed:   []int{attr.InitialConfig},
-		used:       make([]bool, len(attr.Catchments)),
-		part:       cluster.New(n),
-		loc:        spoof.NewIncrementalLocalizer(n),
+		eval: NewEvaluator(attr, EvalParams{
+			SplitThreshold:   cfg.SplitThreshold,
+			MaxMisses:        cfg.MaxMisses,
+			NoiseFloor:       cfg.NoiseFloor,
+			MaxOnlineConfigs: cfg.MaxOnlineConfigs,
+		}),
 		roundPkts:  make([]int64, attr.NumLinks),
 		roundBytes: make([]int64, attr.NumLinks),
 		roundStart: time.Now(),
 		bySource:   make(map[netip.Addr]int64),
 	}
-	p.st.used[attr.InitialConfig] = true
-	p.st.candidates = allSources(n)
 	p.mClusters.Set(1)
 	p.mCands.Set(float64(n))
 	p.mMeanSize.Set(float64(n))
@@ -374,9 +370,9 @@ func New(attr Attribution, cfg Config) (*Pipeline, error) {
 			NumSources:     n,
 			NumConfigs:     len(attr.Catchments),
 			NumLinks:       attr.NumLinks,
-			MaxMisses:      cfg.MaxMisses,
-			SplitThreshold: cfg.SplitThreshold,
-			NoiseFloor:     cfg.NoiseFloor,
+			MaxMisses:      p.st.eval.par.MaxMisses,
+			SplitThreshold: p.st.eval.par.SplitThreshold,
+			NoiseFloor:     p.st.eval.par.NoiseFloor,
 			InitialConfig:  attr.InitialConfig,
 		})
 		for c, row := range attr.Catchments {

@@ -595,6 +595,28 @@ func (w *Watchdog) Healthy() bool {
 	return true
 }
 
+// ReadyFunc returns a readiness gate that ANDs the watchdog's SLO
+// health with extra conditions — the membership signal the
+// sharded-ingest controller consults before keeping a shard in the
+// ring (internal/shard: /readyz + SLO rules gate membership, so a
+// breaching shard is drained rather than silently miscounted). It is
+// callable on a nil *Watchdog, yielding a gate over the extra
+// conditions only, so a shard running without SLO rules is ready
+// whenever its own conditions hold.
+func (w *Watchdog) ReadyFunc(extra ...func() bool) func() bool {
+	return func() bool {
+		if w != nil && !w.Healthy() {
+			return false
+		}
+		for _, f := range extra {
+			if f != nil && !f() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
 // Status returns every rule's current evaluation state.
 func (w *Watchdog) Status() []RuleStatus {
 	w.mu.Lock()

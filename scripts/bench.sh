@@ -5,7 +5,9 @@
 # guards the tracing-disabled overhead budget — and the delta-propagation
 # benchmarks with their 1/5-of-full regression budget), the probe-scan
 # benchmarks (pinning that a concurrent SAV scan loop does not perturb
-# propagation beyond a 3x budget), and the figure benchmarks, then
+# propagation beyond a 3x budget), the sharded-ingest benchmarks (ring
+# routing must stay within 10% of a bare pipeline), and the figure
+# benchmarks, then
 # records every result — ns/op, B/op, allocs/op, and the figures' custom
 # metrics — in BENCH_<date>.json for before/after comparison across
 # commits.
@@ -93,6 +95,34 @@ END {
 	}
 }' "$SCRAPE_TMP"
 rm -f "$SCRAPE_TMP"
+
+echo "==> sharded-ingest overhead benchmarks (ring routing + relay dispatch must stay within 10% of a bare pipeline)"
+SHARD_TMP=$(mktemp)
+# Per-event ingest is ~150ns, so pin an iteration count (as with the
+# scrape gate) rather than using the wall-clock default.
+go test ./internal/shard/ -run '^$' -bench 'ShardIngest|ShardMergeRound' -benchmem \
+	-benchtime 1000000x -count 5 | tee "$SHARD_TMP"
+cat "$SHARD_TMP" >>"$TMP"
+# Sharding budget: routing an event through the consistent-hash ring
+# into one of four relay shards may cost at most 1.10x a bare
+# single-node pipeline Ingest on the same stream — the ring lookup is
+# one hash and one table load, and the route snapshot is lock-free, so
+# anything beyond 10% means a lock or allocation leaked onto the packet
+# path. Min over -count runs so scheduling noise cannot flip the gate.
+awk '
+/^BenchmarkShardIngest\/single-node/ { if (single + 0 == 0 || $3 + 0 < single) single = $3 }
+/^BenchmarkShardIngest\/sharded-4/ { if (sharded + 0 == 0 || $3 + 0 < sharded) sharded = $3 }
+END {
+	if (single + 0 == 0 || sharded + 0 == 0) {
+		print "bench: missing sharded-ingest results"; exit 1
+	}
+	ratio = sharded / single
+	printf "bench: sharded ingest = %.3fx single-node baseline\n", ratio
+	if (ratio > 1.10) {
+		print "bench: sharded ingest exceeds the 10% overhead budget"; exit 1
+	}
+}' "$SHARD_TMP"
+rm -f "$SHARD_TMP"
 
 echo "==> probe-scan benchmarks (scan round cost; probe scans must not perturb propagation)"
 go test ./internal/probe/ -run '^$' -bench 'ProbeRound|PropagateQuiet|PropagateDuringProbeScan' -benchmem \

@@ -16,8 +16,8 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch, tsdb, fault, peering, probe, provenance)"
-go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/... ./internal/tsdb/... ./internal/fault/... ./internal/peering/... ./internal/probe/... ./internal/provenance/...
+echo "==> go test -race (stream, amp, core, bgp, trace, metrics, watch, tsdb, fault, peering, probe, provenance, shard)"
+go test -race ./internal/stream/... ./internal/amp/... ./internal/core/... ./internal/bgp/... ./internal/trace/... ./internal/metrics/... ./internal/watch/... ./internal/tsdb/... ./internal/fault/... ./internal/peering/... ./internal/probe/... ./internal/provenance/... ./internal/shard/...
 
 echo "==> chaos smoke (fixed-seed fault profiles, campaigns must converge)"
 go test ./internal/core/ -run 'Chaos' -count=1
@@ -27,6 +27,9 @@ go test ./internal/probe/ -run 'ProbeStorm' -count=1
 
 echo "==> provenance replay smoke (ledger must reproduce verdicts byte for byte under faults)"
 go test ./internal/provenance/ -run 'Replay' -count=1
+
+echo "==> sharded-ingest chaos smoke (netsplit profile: sharded localization must stay byte-identical to single-node)"
+go test ./internal/shard/ -run 'TestChaosByteIdentical/netsplit' -count=1
 
 echo "==> delta-propagation equivalence smoke (full-vs-incremental, race detector on)"
 go test -race ./internal/bgp/ -run 'TestPropagateDeltaMatchesFull|TestOutcomeReleaseRecycling' -count=1
